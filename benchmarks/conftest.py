@@ -1,0 +1,42 @@
+"""Shared state for the benchmark harness.
+
+A single workbench instance is reused by every benchmark so the corpus is
+generated and the models are trained once.  The scale is reduced relative to
+the paper (see EXPERIMENTS.md) so the full harness regenerates every table and
+figure in a few minutes; pass ``--paper-scale`` to run at the paper's corpus
+size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Workbench, WorkbenchConfig
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="Run the benchmark harness at the paper's full corpus scale (slow).",
+    )
+
+
+@pytest.fixture(scope="session")
+def workbench(request) -> Workbench:
+    if request.config.getoption("--paper-scale"):
+        config = WorkbenchConfig(scale=1.0, seed=7, evaluation_limit=None)
+    else:
+        config = WorkbenchConfig(scale=0.08, seed=7, evaluation_limit=80)
+    return Workbench(config)
+
+
+@pytest.fixture(scope="session")
+def trained_baselines(workbench):
+    return workbench.baselines()
+
+
+@pytest.fixture(scope="session")
+def prepared_gred(workbench):
+    return workbench.gred()

@@ -1,0 +1,62 @@
+"""Additional ablation benches for design choices called out in DESIGN.md.
+
+These go beyond the paper's Table 4: the retrieval depth K and the embedding
+family both shape GRED's robustness, and the paper fixes them (K = 10,
+text-embedding-3-large) without sweeping.  The benches sweep them on the
+dual-variant set.
+"""
+
+from __future__ import annotations
+
+from repro.core import GRED, GREDConfig
+from repro.embeddings.embedder import EmbedderConfig
+from repro.evaluation import ModelEvaluator
+
+
+def test_ablation_retrieval_top_k(benchmark, workbench):
+    """Effect of the retrieval depth K on dual-variant accuracy."""
+    dataset = workbench.dataset
+    dual = workbench.suite.dual_variant
+    evaluator = ModelEvaluator(limit=40)
+
+    def sweep():
+        accuracies = {}
+        for top_k in (1, 5, 10):
+            model = GRED(GREDConfig(top_k=top_k)).fit(dataset.train, dataset.catalog)
+            accuracies[top_k] = evaluator.evaluate(model, dual).result.overall_accuracy
+        return accuracies
+
+    accuracies = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nRetrieval-depth ablation (dual-variant overall accuracy):")
+    for top_k, accuracy in accuracies.items():
+        print(f"  K = {top_k:>2}: {accuracy:.1%}")
+    # retrieval with more context should not be catastrophically worse than K=1
+    assert accuracies[10] >= accuracies[1] - 0.1
+
+
+def test_ablation_embedder_family(benchmark, workbench):
+    """Effect of the embedding feature family (words vs characters vs hybrid)."""
+    dataset = workbench.dataset
+    dual = workbench.suite.dual_variant
+    evaluator = ModelEvaluator(limit=40)
+
+    configurations = {
+        "hybrid (default)": EmbedderConfig(dimensions=512, char_n=3, use_words=True),
+        "words only": EmbedderConfig(dimensions=512, char_n=0, use_words=True),
+        "characters only": EmbedderConfig(dimensions=512, char_n=3, use_words=False),
+    }
+
+    def sweep():
+        accuracies = {}
+        for label, embedder_config in configurations.items():
+            model = GRED(GREDConfig(top_k=5))
+            model.retriever.embedder.config = embedder_config
+            model.fit(dataset.train, dataset.catalog)
+            accuracies[label] = evaluator.evaluate(model, dual).result.overall_accuracy
+        return accuracies
+
+    accuracies = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nEmbedding-family ablation (dual-variant overall accuracy):")
+    for label, accuracy in accuracies.items():
+        print(f"  {label:<18}: {accuracy:.1%}")
+    assert accuracies["hybrid (default)"] >= max(accuracies.values()) - 0.15

@@ -1,0 +1,70 @@
+"""Figure 2 — statistics of the nvBench-Rob development corpus.
+
+Regenerates the chart-type distribution, the hardness distribution and the
+catalog-level counts, and prints them next to the numbers reported in the
+paper's Figure 2.  The benchmark measures corpus + robustness-suite
+construction time.
+"""
+
+from __future__ import annotations
+
+from repro.nvbench.stats import (
+    PAPER_CATALOG_COUNTS,
+    PAPER_CHART_TYPE_COUNTS,
+    PAPER_HARDNESS_COUNTS,
+    compute_statistics,
+)
+from repro.nvbench.generator import CorpusConfig, NVBenchGenerator
+from repro.robustness.variants import RobustnessSuiteBuilder
+
+
+def _print_side_by_side(title, measured, paper, total_measured, total_paper):
+    print(f"\n{title}")
+    print(f"{'key':<22}{'measured':>12}{'measured %':>12}{'paper':>10}{'paper %':>10}")
+    for key, paper_value in paper.items():
+        measured_value = measured.get(key, 0)
+        measured_share = measured_value / total_measured if total_measured else 0.0
+        paper_share = paper_value / total_paper if total_paper else 0.0
+        print(f"{key:<22}{measured_value:>12}{measured_share:>11.1%}{paper_value:>10}{paper_share:>9.1%}")
+
+
+def test_figure2_dataset_statistics(benchmark, workbench):
+    dataset = workbench.dataset
+
+    def build_suite():
+        return RobustnessSuiteBuilder().build(dataset)
+
+    suite = benchmark(build_suite)
+    statistics = compute_statistics(suite.original.examples, dataset.catalog)
+
+    _print_side_by_side(
+        "Figure 2 (top): chart-type distribution of the robustness dev set",
+        statistics.chart_type_counts,
+        PAPER_CHART_TYPE_COUNTS,
+        statistics.total_examples,
+        sum(PAPER_CHART_TYPE_COUNTS.values()),
+    )
+    _print_side_by_side(
+        "Figure 2 (middle): hardness distribution",
+        statistics.hardness_counts,
+        PAPER_HARDNESS_COUNTS,
+        statistics.total_examples,
+        sum(PAPER_HARDNESS_COUNTS.values()),
+    )
+    print("\nFigure 2 (bottom): catalog counts (measured vs paper)")
+    for key, paper_value in PAPER_CATALOG_COUNTS.items():
+        print(f"{key:<24}{statistics.catalog_counts.get(key, 0):>12.2f}{paper_value:>12.2f}")
+
+    # shape assertions: bar charts dominate and medium is the largest hardness band
+    bar_share = statistics.chart_type_counts.get("BAR", 0) / statistics.total_examples
+    assert bar_share > 0.5
+    assert max(statistics.hardness_counts, key=statistics.hardness_counts.get) in ("Medium", "Hard")
+
+
+def test_figure2_full_corpus_generation_speed(benchmark):
+    """Benchmark raw corpus generation (catalog + examples + splits) at small scale."""
+    def generate():
+        return NVBenchGenerator(CorpusConfig(scale=0.05, seed=3)).generate()
+
+    dataset = benchmark(generate)
+    assert len(dataset) > 100

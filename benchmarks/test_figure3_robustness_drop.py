@@ -1,0 +1,43 @@
+"""Figure 3 — the accuracy collapse of existing text-to-vis models on nvBench-Rob.
+
+Prints each baseline's overall accuracy on the original test split versus the
+dual-variant nvBench-Rob split, mirroring the bar chart in Figure 3 of the
+paper (RGVisNet 85.17 -> 24.81, Transformer 68.69 -> 12.77, Seq2Vis
+79.73 -> 5.50).  The reproduction checks the *shape*: every baseline drops
+sharply while GRED does not.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.report import format_overall_series
+from repro.robustness.variants import VariantKind
+
+PAPER_FIGURE3 = {
+    "Seq2Vis": {"nvBench": 0.7973, "nvBench-Rob_(nlq,schema)": 0.0550},
+    "Transformer": {"nvBench": 0.6869, "nvBench-Rob_(nlq,schema)": 0.1277},
+    "RGVisNet": {"nvBench": 0.8517, "nvBench-Rob_(nlq,schema)": 0.2481},
+}
+
+
+def test_figure3_robustness_drop(benchmark, workbench, trained_baselines, prepared_gred):
+    def evaluate_series():
+        return workbench.figure3_series(include_gred=True)
+
+    series = benchmark.pedantic(evaluate_series, rounds=1, iterations=1)
+
+    print("\nFigure 3 — overall accuracy, measured:")
+    print(format_overall_series(series))
+    print("\nFigure 3 — overall accuracy, paper:")
+    print(format_overall_series(PAPER_FIGURE3))
+
+    original = VariantKind.ORIGINAL.value
+    dual = VariantKind.BOTH.value
+    for name in ("Seq2Vis", "Transformer", "RGVisNet"):
+        measured = series[name]
+        # every baseline performs well on nvBench and collapses on the dual variant
+        assert measured[original] > 0.4, name
+        assert measured[dual] < measured[original] * 0.6, name
+    # GRED does not collapse: it stays well above every baseline on the dual variant
+    gred = series["GRED (Ours)"]
+    best_baseline_dual = max(series[name][dual] for name in PAPER_FIGURE3)
+    assert gred[dual] > best_baseline_dual

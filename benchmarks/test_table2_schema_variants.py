@@ -1,0 +1,30 @@
+"""Table 2 — results on nvBench-Rob_schema (schema-only variants)."""
+
+from __future__ import annotations
+
+from repro.evaluation.report import format_accuracy_table
+from repro.robustness.variants import VariantKind
+
+PAPER_TABLE2 = {
+    "Seq2Vis": 0.1455,
+    "Transformer": 0.2961,
+    "RGVisNet": 0.4491,
+    "GRED (Ours)": 0.6193,
+}
+
+
+def test_table2_schema_variants(benchmark, workbench, trained_baselines, prepared_gred):
+    def build_table():
+        return workbench.table_results(VariantKind.SCHEMA)
+
+    results = benchmark.pedantic(build_table, rounds=1, iterations=1)
+
+    print("\n" + format_accuracy_table(results, title="Table 2 — nvBench-Rob_schema (measured)"))
+    print("\nPaper overall accuracies: " + ", ".join(f"{k}={v:.2%}" for k, v in PAPER_TABLE2.items()))
+
+    gred = results["GRED (Ours)"]
+    for name in ("Seq2Vis", "Transformer", "RGVisNet"):
+        assert gred.overall_accuracy > results[name].overall_accuracy, name
+    # the debugger's contribution shows up as a data/axis gap over the best baseline
+    best_baseline_axis = max(results[name].axis_accuracy for name in ("Seq2Vis", "Transformer", "RGVisNet"))
+    assert gred.axis_accuracy >= best_baseline_axis

@@ -1,0 +1,75 @@
+"""Using GRED on your own database.
+
+Defines a small e-commerce database from scratch (schema + rows), prepares GRED
+on the synthetic nvBench training split, and answers questions phrased by a
+user who has never seen the schema — including column names that only exist as
+synonyms of what the user says.
+
+Run with::
+
+    python examples/custom_database.py
+"""
+
+from __future__ import annotations
+
+from repro import GRED, GREDConfig, build_corpus
+from repro.database import Database
+from repro.database.schema import ColumnType, build_schema
+from repro.vegalite import ChartRenderer
+
+
+def build_shop_database() -> Database:
+    schema = build_schema(
+        "web_shop",
+        [
+            (
+                "purchases",
+                [
+                    ("purchase_id", ColumnType.NUMBER, "id"),
+                    ("client_town", ColumnType.TEXT, "city"),
+                    ("goods_type", ColumnType.TEXT, "category"),
+                    ("paid_amount", ColumnType.NUMBER, "price"),
+                    ("purchase_day", ColumnType.DATE, "date"),
+                ],
+            ),
+        ],
+        domain="retail",
+    )
+    database = Database(schema)
+    rows = [
+        {"purchase_id": 1, "client_town": "Lisbon", "goods_type": "Books", "paid_amount": 40, "purchase_day": "2021-03-02"},
+        {"purchase_id": 2, "client_town": "Lisbon", "goods_type": "Games", "paid_amount": 120, "purchase_day": "2021-07-15"},
+        {"purchase_id": 3, "client_town": "Porto", "goods_type": "Books", "paid_amount": 25, "purchase_day": "2022-01-20"},
+        {"purchase_id": 4, "client_town": "Madrid", "goods_type": "Music", "paid_amount": 60, "purchase_day": "2022-05-09"},
+        {"purchase_id": 5, "client_town": "Porto", "goods_type": "Games", "paid_amount": 200, "purchase_day": "2023-02-11"},
+        {"purchase_id": 6, "client_town": "Madrid", "goods_type": "Books", "paid_amount": 35, "purchase_day": "2023-08-30"},
+    ]
+    database.table("purchases").extend(rows)
+    return database
+
+
+def main() -> None:
+    print("Preparing GRED on the synthetic nvBench training split ...")
+    dataset = build_corpus(scale=0.08, seed=7)
+    gred = GRED(GREDConfig(top_k=10)).fit(dataset.train, dataset.catalog)
+
+    database = build_shop_database()
+    questions = [
+        "Show me a histogram of how many purchases were made in each town.",
+        "Draw the trend of the average price paid per year.",
+        "Give me a pie chart splitting purchases by the kind of goods.",
+    ]
+    renderer = ChartRenderer()
+    for question in questions:
+        print(f"\nQ: {question}")
+        dvq = gred.predict(question, database)
+        print(f"DVQ: {dvq}")
+        chart = renderer.try_render_text(dvq, database)
+        if chart is None:
+            print("  (could not render a chart for this DVQ)")
+            continue
+        print(chart.ascii_render(width=30, max_rows=8))
+
+
+if __name__ == "__main__":
+    main()

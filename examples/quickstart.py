@@ -1,0 +1,50 @@
+"""Quickstart: translate a natural language question into a chart with GRED.
+
+Builds a small synthetic nvBench corpus, prepares GRED on its training split,
+asks a question that does *not* mention any column name explicitly, and renders
+the resulting chart.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import GRED, GREDConfig, build_corpus
+from repro.vegalite import ChartRenderer
+
+
+def main() -> None:
+    print("Building a small synthetic nvBench corpus ...")
+    dataset = build_corpus(scale=0.08, seed=7)
+    print(f"  {len(dataset)} (NLQ, DVQ) pairs over {len(dataset.catalog)} databases")
+
+    print("Preparing GRED (embedding library + database annotations) ...")
+    gred = GRED(GREDConfig(top_k=10)).fit(dataset.train, dataset.catalog)
+
+    database = dataset.catalog.get(dataset.test[0].db_id)
+    question = (
+        "Please give me a histogram showing how many staff members share each family name, "
+        "arranged from the largest downwards."
+    )
+    print(f"\nDatabase: {database.name}")
+    print(f"Question: {question}")
+
+    trace = gred.trace(question, database)
+    print(f"\nDVQ after the NLQ-Retrieval Generator : {trace.dvq_gen}")
+    print(f"DVQ after the DVQ-Retrieval Retuner   : {trace.dvq_rtn}")
+    print(f"DVQ after the Annotation-based Debugger: {trace.dvq_dbg}")
+
+    chart = ChartRenderer().try_render_text(trace.final, database)
+    if chart is None:
+        print("\nThe generated DVQ could not be rendered against this database.")
+        return
+    print(f"\n{chart.summary()}")
+    print(chart.ascii_render(width=40, max_rows=10))
+    print("\nVega-Lite specification:")
+    print(chart.spec.to_json())
+
+
+if __name__ == "__main__":
+    main()

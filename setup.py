@@ -1,0 +1,22 @@
+"""Setuptools entry point.
+
+Kept as a classic ``setup.py`` (rather than PEP 517 metadata) so editable
+installs work in offline environments that lack the ``wheel`` package.
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Towards Robustness of Text-to-Visualization Translation "
+        "against Lexical and Phrasal Variability' (nvBench-Rob + GRED)"
+    ),
+    author="Reproduction Authors",
+    license="MIT",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy", "networkx"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

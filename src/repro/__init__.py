@@ -1,0 +1,38 @@
+"""repro: reproduction of "Towards Robustness of Text-to-Visualization Translation
+against Lexical and Phrasal Variability" (nvBench-Rob + GRED).
+
+Top-level convenience imports; see the subpackages for the full API:
+
+* :mod:`repro.dvq` — the DVQ (Vega-Zero) language toolchain.
+* :mod:`repro.database` / :mod:`repro.executor` / :mod:`repro.vegalite` — the
+  relational and visualization substrates.
+* :mod:`repro.nvbench` / :mod:`repro.robustness` — the synthetic nvBench corpus
+  and the nvBench-Rob perturbation suite.
+* :mod:`repro.models` — the Seq2Vis / Transformer / RGVisNet baselines.
+* :mod:`repro.core` — GRED, the paper's contribution.
+* :mod:`repro.evaluation` / :mod:`repro.experiments` — metrics and the harness
+  that regenerates every table and figure.
+"""
+
+from repro.core.config import GREDConfig
+from repro.core.pipeline import GRED
+from repro.evaluation.metrics import evaluate_predictions
+from repro.experiments.workbench import Workbench, WorkbenchConfig
+from repro.nvbench.generator import CorpusConfig, NVBenchGenerator, build_corpus
+from repro.robustness.variants import RobustnessSuiteBuilder, VariantKind
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CorpusConfig",
+    "GRED",
+    "GREDConfig",
+    "NVBenchGenerator",
+    "RobustnessSuiteBuilder",
+    "VariantKind",
+    "Workbench",
+    "WorkbenchConfig",
+    "build_corpus",
+    "evaluate_predictions",
+    "__version__",
+]

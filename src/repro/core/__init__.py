@@ -1,0 +1,38 @@
+"""GRED: the paper's Retrieval-Augmented Generation framework.
+
+The pipeline has a preparatory phase and three inference stages:
+
+* **Preparation** — embed every training NLQ and DVQ into a vector library and
+  generate natural-language annotations for every database
+  (:class:`GREDRetriever`, :class:`DatabaseAnnotator`).
+* **NLQ-Retrieval Generator** — retrieve the top-K most similar training
+  questions, assemble a few-shot generation prompt (ascending similarity) and
+  ask the LLM for ``DVQ_gen`` (:class:`NLQRetrievalGenerator`).
+* **DVQ-Retrieval Retuner** — retrieve the top-K most similar training DVQs and
+  ask the LLM to imitate their programming style, producing ``DVQ_rtn``
+  (:class:`DVQRetrievalRetuner`).
+* **Annotation-based Debugger** — give the LLM the annotated target database
+  and ask it to repair out-of-schema column names, producing ``DVQ_dbg``
+  (:class:`AnnotationBasedDebugger`).
+"""
+
+from repro.core.config import GREDConfig
+from repro.core.annotator import DatabaseAnnotator
+from repro.core.retriever import GREDRetriever
+from repro.core.generator import NLQRetrievalGenerator
+from repro.core.retuner import DVQRetrievalRetuner
+from repro.core.debugger import AnnotationBasedDebugger
+from repro.core.pipeline import GRED, GREDTrace
+from repro.core.ablation import build_ablation_variants
+
+__all__ = [
+    "AnnotationBasedDebugger",
+    "DatabaseAnnotator",
+    "DVQRetrievalRetuner",
+    "GRED",
+    "GREDConfig",
+    "GREDRetriever",
+    "GREDTrace",
+    "NLQRetrievalGenerator",
+    "build_ablation_variants",
+]

@@ -1,0 +1,26 @@
+"""Factory helpers for the ablation study in Table 4."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.config import GREDConfig
+from repro.core.pipeline import GRED
+from repro.llm.interface import ChatModel
+
+
+def build_ablation_variants(
+    top_k: int = 10, llm: Optional[ChatModel] = None
+) -> Dict[str, GRED]:
+    """The four GRED configurations of Table 4 (full, w/o RTN&DBG, w/o RTN, w/o DBG).
+
+    Each variant gets its own pipeline object; passing a shared ``llm`` lets
+    callers reuse one simulated model (and its completion log) across variants.
+    """
+    configurations = {
+        "GRED": GREDConfig(top_k=top_k, use_retuner=True, use_debugger=True),
+        "GRED w/o RTN&DBG": GREDConfig(top_k=top_k, use_retuner=False, use_debugger=False),
+        "GRED w/o RTN": GREDConfig(top_k=top_k, use_retuner=False, use_debugger=True),
+        "GRED w/o DBG": GREDConfig(top_k=top_k, use_retuner=True, use_debugger=False),
+    }
+    return {name: GRED(config=config, llm=llm) for name, config in configurations.items()}

@@ -1,0 +1,37 @@
+"""Database annotation: the preparatory step feeding the debugger."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.database.catalog import Catalog
+from repro.database.database import Database
+from repro.core.prompts import ANNOTATION_SYSTEM, make_annotation_prompt
+from repro.llm.interface import ChatModel, CompletionParams
+
+
+class DatabaseAnnotator:
+    """Generates and caches natural-language annotations for databases."""
+
+    def __init__(self, llm: ChatModel, params: Optional[CompletionParams] = None):
+        self.llm = llm
+        self.params = params or CompletionParams()
+        self._cache: Dict[str, str] = {}
+
+    def annotate(self, database: Database) -> str:
+        """The annotation text for ``database`` (computed once, then cached)."""
+        key = database.name.lower()
+        if key not in self._cache:
+            prompt = make_annotation_prompt(database.schema)
+            self._cache[key] = self.llm.complete_text(ANNOTATION_SYSTEM, prompt, params=self.params)
+        return self._cache[key]
+
+    def annotate_catalog(self, catalog: Catalog) -> Dict[str, str]:
+        """Annotate every database in a catalog, returning name -> annotation."""
+        return {database.name: self.annotate(database) for database in catalog}
+
+    def cached(self, database_name: str) -> Optional[str]:
+        return self._cache.get(database_name.lower())
+
+    def __len__(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,42 @@
+"""Configuration of the GRED pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.llm.interface import CompletionParams
+
+
+@dataclass(frozen=True)
+class GREDConfig:
+    """Hyper-parameters and ablation switches for GRED.
+
+    ``top_k = 10`` follows Section 5.1 of the paper; the two completion
+    parameter sets mirror the reported ``openai.ChatCompletion.create``
+    settings for preparation and for the main pipeline.
+    """
+
+    top_k: int = 10
+    use_retuner: bool = True
+    use_debugger: bool = True
+    embedder_dimensions: int = 512
+    max_library_examples: int = 8000
+    name: str = "GRED"
+
+    @property
+    def preparation_params(self) -> CompletionParams:
+        return CompletionParams(temperature=0.0, frequency_penalty=0.0, presence_penalty=0.0)
+
+    @property
+    def pipeline_params(self) -> CompletionParams:
+        return CompletionParams(temperature=0.0, frequency_penalty=-0.5, presence_penalty=-0.5)
+
+    def variant_name(self) -> str:
+        """A descriptive name reflecting the ablation switches."""
+        if self.use_retuner and self.use_debugger:
+            return self.name
+        if not self.use_retuner and not self.use_debugger:
+            return f"{self.name} w/o RTN&DBG"
+        if not self.use_retuner:
+            return f"{self.name} w/o RTN"
+        return f"{self.name} w/o DBG"

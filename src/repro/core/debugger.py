@@ -1,0 +1,31 @@
+"""Stage (c): the Annotation-based Debugger."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.annotator import DatabaseAnnotator
+from repro.core.prompts import DEBUG_SYSTEM, make_debug_prompt
+from repro.database.database import Database
+from repro.llm.interface import ChatModel, CompletionParams
+
+
+class AnnotationBasedDebugger:
+    """Repairs out-of-schema column names using the annotated target database."""
+
+    def __init__(
+        self,
+        annotator: DatabaseAnnotator,
+        llm: ChatModel,
+        params: Optional[CompletionParams] = None,
+    ):
+        self.annotator = annotator
+        self.llm = llm
+        self.params = params or CompletionParams()
+
+    def debug(self, dvq_rtn: str, database: Database) -> str:
+        """Produce ``DVQ_dbg`` from ``DVQ_rtn`` and the annotated database."""
+        annotation = self.annotator.annotate(database)
+        prompt = make_debug_prompt(database.schema, annotation, dvq_rtn)
+        response = self.llm.complete_text(DEBUG_SYSTEM, prompt, params=self.params).strip()
+        return response or dvq_rtn

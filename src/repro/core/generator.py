@@ -1,0 +1,52 @@
+"""Stage (a): the NLQ-Retrieval Generator."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.prompts import GENERATION_SYSTEM, make_generation_prompt
+from repro.core.retriever import GREDRetriever
+from repro.database.catalog import Catalog
+from repro.database.database import Database
+from repro.database.schema import DatabaseSchema
+from repro.llm.interface import ChatModel, CompletionParams
+from repro.nvbench.example import NVBenchExample
+
+
+class NLQRetrievalGenerator:
+    """Retrieves similar questions and asks the LLM for an initial DVQ."""
+
+    def __init__(
+        self,
+        retriever: GREDRetriever,
+        llm: ChatModel,
+        catalog: Optional[Catalog] = None,
+        top_k: int = 10,
+        params: Optional[CompletionParams] = None,
+    ):
+        self.retriever = retriever
+        self.llm = llm
+        self.catalog = catalog
+        self.top_k = top_k
+        self.params = params or CompletionParams()
+
+    def _schema_for(self, example: NVBenchExample, fallback: DatabaseSchema) -> DatabaseSchema:
+        if self.catalog is not None and example.db_id in self.catalog:
+            return self.catalog.get(example.db_id).schema
+        return fallback
+
+    def build_prompt(self, nlq: str, database: Database) -> str:
+        """Assemble the generation prompt (examples in ascending similarity)."""
+        hits = self.retriever.retrieve_by_nlq(nlq, top_k=self.top_k)
+        # hits are descending; the paper places the most similar example nearest
+        # to the asking part, i.e. ascending order in the prompt
+        ordered: List[Tuple[NVBenchExample, DatabaseSchema]] = [
+            (hit.payload, self._schema_for(hit.payload, database.schema))
+            for hit in reversed(hits)
+        ]
+        return make_generation_prompt(ordered, nlq, database.schema)
+
+    def generate(self, nlq: str, database: Database) -> str:
+        """Produce ``DVQ_gen`` for the question."""
+        prompt = self.build_prompt(nlq, database)
+        return self.llm.complete_text(GENERATION_SYSTEM, prompt, params=self.params).strip()

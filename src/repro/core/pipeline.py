@@ -1,0 +1,98 @@
+"""The end-to-end GRED pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.annotator import DatabaseAnnotator
+from repro.core.config import GREDConfig
+from repro.core.debugger import AnnotationBasedDebugger
+from repro.core.generator import NLQRetrievalGenerator
+from repro.core.retriever import GREDRetriever
+from repro.core.retuner import DVQRetrievalRetuner
+from repro.database.catalog import Catalog
+from repro.database.database import Database
+from repro.llm.interface import ChatModel
+from repro.llm.simulated import SimulatedChatModel
+from repro.models.base import TextToVisModel
+from repro.nvbench.example import NVBenchExample
+
+
+@dataclass
+class GREDTrace:
+    """Intermediate outputs of one GRED prediction (for analysis and the case study)."""
+
+    nlq: str
+    dvq_gen: str
+    dvq_rtn: str
+    dvq_dbg: str
+
+    @property
+    def final(self) -> str:
+        return self.dvq_dbg
+
+
+class GRED(TextToVisModel):
+    """GRED as a drop-in text-to-vis model."""
+
+    name = "GRED"
+
+    def __init__(self, config: GREDConfig = GREDConfig(), llm: Optional[ChatModel] = None):
+        self.config = config
+        self.name = config.variant_name()
+        self.llm = llm or SimulatedChatModel()
+        self.retriever = GREDRetriever(dimensions=config.embedder_dimensions)
+        self.annotator = DatabaseAnnotator(self.llm, params=config.preparation_params)
+        self.generator: Optional[NLQRetrievalGenerator] = None
+        self.retuner: Optional[DVQRetrievalRetuner] = None
+        self.debugger: Optional[AnnotationBasedDebugger] = None
+        self._fitted = False
+
+    # -- preparation ------------------------------------------------------------
+
+    def fit(self, examples: Sequence[NVBenchExample], catalog: Catalog) -> "GRED":
+        """Preparatory phase: build the embedding library and wire up the stages."""
+        self.retriever.prepare(examples, max_examples=self.config.max_library_examples)
+        self.generator = NLQRetrievalGenerator(
+            retriever=self.retriever,
+            llm=self.llm,
+            catalog=catalog,
+            top_k=self.config.top_k,
+            params=self.config.pipeline_params,
+        )
+        self.retuner = DVQRetrievalRetuner(
+            retriever=self.retriever,
+            llm=self.llm,
+            top_k=self.config.top_k,
+            params=self.config.pipeline_params,
+        )
+        self.debugger = AnnotationBasedDebugger(
+            annotator=self.annotator,
+            llm=self.llm,
+            params=self.config.pipeline_params,
+        )
+        self._fitted = True
+        return self
+
+    # -- inference -----------------------------------------------------------------
+
+    def trace(self, nlq: str, database: Database) -> GREDTrace:
+        """Run the pipeline and keep every intermediate DVQ."""
+        if not self._fitted or self.generator is None:
+            raise RuntimeError("GRED.predict called before fit")
+        dvq_gen = self.generator.generate(nlq, database)
+        dvq_rtn = dvq_gen
+        if self.config.use_retuner and self.retuner is not None and dvq_gen:
+            dvq_rtn = self.retuner.retune(dvq_gen)
+        dvq_dbg = dvq_rtn
+        if self.config.use_debugger and self.debugger is not None and dvq_rtn:
+            dvq_dbg = self.debugger.debug(dvq_rtn, database)
+        return GREDTrace(nlq=nlq, dvq_gen=dvq_gen, dvq_rtn=dvq_rtn, dvq_dbg=dvq_dbg)
+
+    def predict(self, nlq: str, database: Database) -> str:
+        return self.trace(nlq, database).final
+
+    def predict_batch(self, examples: Sequence[NVBenchExample], catalog: Catalog) -> List[GREDTrace]:
+        """Traces for a list of examples (used by the experiment harness)."""
+        return [self.trace(example.nlq, catalog.get(example.db_id)) for example in examples]

@@ -1,0 +1,122 @@
+"""Prompt makers for the three GRED stages plus database annotation (Appendix C)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.database.schema import DatabaseSchema
+from repro.llm import markers
+from repro.nvbench.example import NVBenchExample
+
+ANNOTATION_SYSTEM = "You are a data mining engineer with ten years of experience in data visualization."
+GENERATION_SYSTEM = "Please follow the syntax in the examples instead of SQL syntax."
+RETUNE_SYSTEM = (
+    "The Reference Data Visualization Queries(DVQs) all comply with the syntax of DVQ. "
+    "Please follow the syntax of the referenced DVQ to modify the Original DVQ."
+)
+DEBUG_SYSTEM = (
+    "#### NOTE: Don't replace column names in Original DVQ that already exist in the "
+    "database schemas, especially column names in GROUP BY Clause!"
+)
+
+CHART_TYPE_LINE = "# [ BAR , PIE , LINE , SCATTER ]"
+
+
+def make_annotation_prompt(schema: DatabaseSchema) -> str:
+    """The database-annotation prompt (Appendix C.1)."""
+    return "\n".join(
+        [
+            f"#### {markers.TASK_ANNOTATION} to the following database schemas.",
+            markers.SCHEMA_HEADER,
+            schema.describe(),
+            markers.ANNOTATION_HEADER,
+            markers.ANSWER_PREFIX,
+        ]
+    )
+
+
+def _example_block(schema_text: str, question: str, dvq: str) -> List[str]:
+    return [
+        markers.SCHEMA_HEADER,
+        schema_text,
+        "#",
+        markers.CHART_TYPES_HEADER,
+        CHART_TYPE_LINE,
+        markers.QUESTION_HEADER,
+        f'# "{question}"',
+        markers.DVQ_HEADER,
+        f"{markers.ANSWER_PREFIX} {dvq}",
+        "",
+    ]
+
+
+def make_generation_prompt(
+    examples: Sequence[Tuple[NVBenchExample, DatabaseSchema]],
+    target_question: str,
+    target_schema: DatabaseSchema,
+) -> str:
+    """The few-shot generation prompt (Appendix C.2).
+
+    ``examples`` must already be ordered in *ascending* similarity so the most
+    similar example sits closest to the asking part of the prompt.
+    """
+    lines: List[str] = [
+        f"#### Given Natural Language Questions, {markers.TASK_GENERATION}.",
+        "",
+    ]
+    for example, schema in examples:
+        lines.extend(_example_block(schema.describe(), example.nlq, example.dvq))
+    lines.extend(
+        [
+            markers.SCHEMA_HEADER,
+            target_schema.describe(),
+            "#",
+            markers.CHART_TYPES_HEADER,
+            CHART_TYPE_LINE,
+            markers.QUESTION_HEADER,
+            f'# "{target_question}"',
+            markers.DVQ_HEADER,
+            markers.ANSWER_PREFIX,
+        ]
+    )
+    return "\n".join(lines)
+
+
+def make_retune_prompt(reference_dvqs: Sequence[str], original_dvq: str) -> str:
+    """The style-retuning prompt (Appendix C.3)."""
+    lines: List[str] = [markers.REFERENCE_DVQS_HEADER]
+    for index, reference in enumerate(reference_dvqs, start=1):
+        lines.append(f"{index} - {reference}")
+    lines.extend(
+        [
+            "",
+            f"#### Given the Reference DVQs, {markers.TASK_RETUNE} of the Reference DVQs.",
+            "#### NOTE: Do not Modify the column name in Original DVQ. "
+            "Especially do not Modify the column names in the ORDER clause!",
+            markers.ORIGINAL_DVQ_HEADER,
+            f"# {original_dvq}",
+            f"{markers.ANSWER_PREFIX} Let's think step by step!",
+        ]
+    )
+    return "\n".join(lines)
+
+
+def make_debug_prompt(schema: DatabaseSchema, annotation: str, original_dvq: str) -> str:
+    """The annotation-based debugging prompt (Appendix C.4)."""
+    return "\n".join(
+        [
+            "#### Please generate detailed natural language annotations to the following database schemas.",
+            markers.SCHEMA_HEADER,
+            schema.describe(),
+            markers.ANNOTATION_HEADER,
+            annotation,
+            "",
+            "#### Given Database Schemas and their corresponding Natural Language Annotations, "
+            f"{markers.TASK_DEBUG}(DVQ, a new Programming Language abstracted from Vega-Zero) "
+            "that do not exist in the database.",
+            DEBUG_SYSTEM,
+            markers.ORIGINAL_DVQ_HEADER,
+            f"# {original_dvq}",
+            f"{markers.ANSWER_PREFIX} Let's think step by step!",
+        ]
+    )

@@ -1,0 +1,49 @@
+"""The embedding vector library and top-K retriever used by GRED."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.embeddings.embedder import EmbedderConfig, TextEmbedder
+from repro.embeddings.store import SearchHit, VectorStore
+from repro.nvbench.example import NVBenchExample
+
+
+class GREDRetriever:
+    """Holds two vector stores: one over training NLQs, one over training DVQs."""
+
+    def __init__(self, embedder: Optional[TextEmbedder] = None, dimensions: int = 512):
+        self.embedder = embedder or TextEmbedder(EmbedderConfig(dimensions=dimensions))
+        self.nlq_store: Optional[VectorStore] = None
+        self.dvq_store: Optional[VectorStore] = None
+
+    @property
+    def is_prepared(self) -> bool:
+        return self.nlq_store is not None and self.dvq_store is not None
+
+    def prepare(self, examples: Sequence[NVBenchExample], max_examples: Optional[int] = None) -> "GREDRetriever":
+        """Embed the training examples into the NLQ and DVQ libraries."""
+        examples = list(examples)
+        if max_examples is not None:
+            examples = examples[:max_examples]
+        self.embedder.fit(
+            [example.nlq for example in examples] + [example.dvq for example in examples]
+        )
+        self.nlq_store = VectorStore(self.embedder)
+        self.dvq_store = VectorStore(self.embedder)
+        for example in examples:
+            self.nlq_store.add(example.example_id, example.nlq, example)
+            self.dvq_store.add(example.example_id, example.dvq, example)
+        return self
+
+    def retrieve_by_nlq(self, nlq: str, top_k: int) -> List[SearchHit]:
+        """Top-K training examples by question similarity (descending score)."""
+        if self.nlq_store is None:
+            raise RuntimeError("GREDRetriever.retrieve_by_nlq called before prepare")
+        return self.nlq_store.search(nlq, top_k=top_k)
+
+    def retrieve_by_dvq(self, dvq: str, top_k: int) -> List[SearchHit]:
+        """Top-K training examples by DVQ similarity (descending score)."""
+        if self.dvq_store is None:
+            raise RuntimeError("GREDRetriever.retrieve_by_dvq called before prepare")
+        return self.dvq_store.search(dvq, top_k=top_k)

@@ -1,0 +1,39 @@
+"""Stage (b): the DVQ-Retrieval Retuner."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.prompts import RETUNE_SYSTEM, make_retune_prompt
+from repro.core.retriever import GREDRetriever
+from repro.llm.interface import ChatModel, CompletionParams
+
+
+class DVQRetrievalRetuner:
+    """Retrieves similar training DVQs and asks the LLM to mimic their style."""
+
+    def __init__(
+        self,
+        retriever: GREDRetriever,
+        llm: ChatModel,
+        top_k: int = 10,
+        params: Optional[CompletionParams] = None,
+    ):
+        self.retriever = retriever
+        self.llm = llm
+        self.top_k = top_k
+        self.params = params or CompletionParams()
+
+    def reference_dvqs(self, dvq_gen: str) -> List[str]:
+        """The top-K reference DVQs, most similar last (closest to the question)."""
+        hits = self.retriever.retrieve_by_dvq(dvq_gen, top_k=self.top_k)
+        return [hit.payload.dvq for hit in reversed(hits)]
+
+    def retune(self, dvq_gen: str) -> str:
+        """Produce ``DVQ_rtn`` from ``DVQ_gen``."""
+        references = self.reference_dvqs(dvq_gen)
+        if not references:
+            return dvq_gen
+        prompt = make_retune_prompt(references, dvq_gen)
+        response = self.llm.complete_text(RETUNE_SYSTEM, prompt, params=self.params).strip()
+        return response or dvq_gen

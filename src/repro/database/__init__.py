@@ -1,0 +1,26 @@
+"""In-memory relational substrate used by the executor and dataset generators.
+
+The paper's systems operate over the 100+ relational databases shipped with
+nvBench (SQLite files derived from Spider).  This package provides an
+equivalent in-memory substrate: a typed schema model, table storage, a foreign
+key graph, a deterministic synthetic data generator and a catalog that holds a
+collection of databases.
+"""
+
+from repro.database.schema import Column, ColumnType, DatabaseSchema, ForeignKey, TableSchema
+from repro.database.table import Table
+from repro.database.database import Database
+from repro.database.catalog import Catalog
+from repro.database.datagen import DataGenerator
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnType",
+    "Database",
+    "DatabaseSchema",
+    "DataGenerator",
+    "ForeignKey",
+    "Table",
+    "TableSchema",
+]

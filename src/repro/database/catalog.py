@@ -1,0 +1,60 @@
+"""A catalog of databases keyed by database id (``db_id`` in nvBench)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.database.database import Database
+
+
+class Catalog:
+    """Holds a set of databases, mirroring nvBench's ``database/`` directory."""
+
+    def __init__(self, databases: Optional[Iterable[Database]] = None):
+        self._databases: Dict[str, Database] = {}
+        if databases:
+            for database in databases:
+                self.add(database)
+
+    def add(self, database: Database) -> None:
+        key = database.name.lower()
+        if key in self._databases:
+            raise KeyError(f"Catalog already contains a database named {database.name!r}")
+        self._databases[key] = database
+
+    def get(self, name: str) -> Database:
+        key = name.lower()
+        if key not in self._databases:
+            raise KeyError(f"Catalog has no database named {name!r}")
+        return self._databases[key]
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._databases
+
+    def __len__(self) -> int:
+        return len(self._databases)
+
+    def __iter__(self) -> Iterator[Database]:
+        return iter(self._databases.values())
+
+    def names(self) -> List[str]:
+        return [database.name for database in self._databases.values()]
+
+    def total_tables(self) -> int:
+        return sum(len(database.schema.tables) for database in self._databases.values())
+
+    def total_columns(self) -> int:
+        return sum(database.schema.column_count() for database in self._databases.values())
+
+    def statistics(self) -> Dict[str, float]:
+        """Summary counts matching the bottom half of Figure 2 in the paper."""
+        database_count = len(self._databases)
+        table_count = self.total_tables()
+        column_count = self.total_columns()
+        return {
+            "databases": database_count,
+            "tables": table_count,
+            "columns": column_count,
+            "avg_tables_per_db": table_count / database_count if database_count else 0.0,
+            "avg_columns_per_table": column_count / table_count if table_count else 0.0,
+        }

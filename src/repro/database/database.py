@@ -1,0 +1,100 @@
+"""A database: a schema plus populated tables."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.database.schema import DatabaseSchema
+from repro.database.table import Table
+
+
+class Database:
+    """An in-memory database holding one :class:`Table` per schema table."""
+
+    def __init__(self, schema: DatabaseSchema, tables: Optional[Dict[str, Table]] = None):
+        self.schema = schema
+        self._tables: Dict[str, Table] = {}
+        if tables:
+            for table in tables.values():
+                self.add_table(table)
+        else:
+            for table_schema in schema.tables:
+                self.add_table(Table(table_schema))
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def add_table(self, table: Table) -> None:
+        if not self.schema.has_table(table.name):
+            raise KeyError(f"Schema {self.schema.name!r} has no table {table.name!r}")
+        self._tables[table.name.lower()] = table
+
+    def table(self, name: str) -> Table:
+        key = name.lower()
+        if key not in self._tables:
+            raise KeyError(f"Database {self.name!r} has no table named {name!r}")
+        return self._tables[key]
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> List[Table]:
+        return list(self._tables.values())
+
+    def row_count(self) -> int:
+        return sum(len(table) for table in self._tables.values())
+
+    def resolve_column(self, column_name: str, preferred_table: Optional[str] = None) -> Optional[Tuple[str, str]]:
+        """Find ``(table, column)`` for a column name, preferring ``preferred_table``.
+
+        Returns ``None`` if no table owns a column with that name.  Used by the
+        executor and by schema-linking components to ground unqualified column
+        references.
+        """
+        if preferred_table and self.has_table(preferred_table):
+            table = self.table(preferred_table)
+            if table.has_column(column_name):
+                return table.name, table.canonical_column(column_name)
+        for table in self._tables.values():
+            if table.has_column(column_name):
+                return table.name, table.canonical_column(column_name)
+        return None
+
+    def renamed(
+        self,
+        new_name: Optional[str] = None,
+        table_renames: Optional[Dict[str, str]] = None,
+        column_renames: Optional[Dict[Tuple[str, str], str]] = None,
+    ) -> "Database":
+        """Return a copy of the database with tables/columns renamed.
+
+        Data rows are carried over unchanged (values are identical; only the
+        identifiers differ), matching how nvBench-Rob renames schemas without
+        touching the underlying data.
+        """
+        table_renames = table_renames or {}
+        column_renames = column_renames or {}
+        new_schema = self.schema.renamed(new_name, table_renames, column_renames)
+        new_tables: Dict[str, Table] = {}
+        for table in self._tables.values():
+            per_table = {
+                old: new
+                for (table_name, old), new in column_renames.items()
+                if table_name == table.name
+            }
+            renamed_table = table.rename_columns(per_table)
+            new_table_name = table_renames.get(table.name, table.name)
+            renamed_schema = renamed_table.schema.renamed(new_table_name, {})
+            new_tables[new_table_name.lower()] = Table(renamed_schema, renamed_table.rows)
+        return Database(new_schema, new_tables)
+
+    @classmethod
+    def from_rows(
+        cls, schema: DatabaseSchema, rows_by_table: Dict[str, Iterable[Dict[str, object]]]
+    ) -> "Database":
+        """Build a database from a mapping of table name to row iterables."""
+        database = cls(schema)
+        for table_name, rows in rows_by_table.items():
+            database.table(table_name).extend(rows)
+        return database

@@ -1,0 +1,171 @@
+"""Deterministic synthetic data generation for schema columns.
+
+nvBench ships real SQLite data derived from Spider.  We substitute a
+deterministic generator keyed on each column's *semantic* tag so filters,
+aggregates and group-bys produce plausible, non-degenerate chart data.  The
+generator is fully seeded: the same schema and seed always produce the same
+rows, which keeps every experiment reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.database.database import Database
+from repro.database.schema import Column, ColumnType, DatabaseSchema, TableSchema
+
+_FIRST_NAMES = [
+    "Shelley", "Nancy", "Steven", "John", "Hermann", "Alexander", "Adam",
+    "Susan", "Den", "Michael", "Jennifer", "Laura", "Carlos", "Mei", "Priya",
+    "Omar", "Elena", "Lucas", "Aisha", "Tom",
+]
+_LAST_NAMES = [
+    "King", "Kochhar", "De Haan", "Hunold", "Ernst", "Austin", "Pataballa",
+    "Lorentz", "Greenberg", "Faviet", "Chen", "Sciarra", "Urman", "Popp",
+    "Raphaely", "Khoo", "Baida", "Tobias", "Himuro", "Colmenares",
+]
+_CITIES = [
+    "Seattle", "Toronto", "London", "Oxford", "Sydney", "Munich", "Geneva",
+    "Tokyo", "Singapore", "Venice", "Utrecht", "Bern", "Mexico City", "Sao Paulo",
+]
+_COUNTRIES = [
+    "United States", "Canada", "United Kingdom", "Australia", "Germany",
+    "Switzerland", "Japan", "Singapore", "Italy", "Netherlands", "Brazil",
+]
+_DEPARTMENT_NAMES = [
+    "Administration", "Marketing", "Purchasing", "Human Resources", "Shipping",
+    "IT", "Public Relations", "Sales", "Executive", "Finance", "Accounting",
+]
+_JOB_TITLES = [
+    "President", "Administration Vice President", "Accountant", "Programmer",
+    "Marketing Manager", "Sales Representative", "Stock Clerk", "Shipping Clerk",
+]
+_PRODUCT_NAMES = [
+    "Laptop", "Monitor", "Keyboard", "Tablet", "Camera", "Printer", "Router",
+    "Speaker", "Headset", "Charger", "Scanner", "Projector",
+]
+_GENERIC_WORDS = [
+    "Alpha", "Beta", "Gamma", "Delta", "Epsilon", "Zeta", "Eta", "Theta",
+    "Iota", "Kappa", "Lambda", "Sigma", "Omega", "Orion", "Vega", "Lyra",
+]
+_STATUS_VALUES = ["Open", "Closed", "Pending", "Approved", "Rejected"]
+_CATEGORY_VALUES = ["Gold", "Silver", "Bronze", "Platinum", "Standard"]
+_THEME_VALUES = ["History", "Science", "Art", "Nature", "Technology", "Sports"]
+
+_SEMANTIC_TEXT_POOLS: Dict[str, List[str]] = {
+    "first_name": _FIRST_NAMES,
+    "last_name": _LAST_NAMES,
+    "name": _GENERIC_WORDS,
+    "city": _CITIES,
+    "country": _COUNTRIES,
+    "department": _DEPARTMENT_NAMES,
+    "job_title": _JOB_TITLES,
+    "product": _PRODUCT_NAMES,
+    "status": _STATUS_VALUES,
+    "category": _CATEGORY_VALUES,
+    "theme": _THEME_VALUES,
+}
+
+_SEMANTIC_NUMBER_RANGES: Dict[str, tuple] = {
+    "salary": (2000, 25000),
+    "price": (5, 2000),
+    "budget": (10000, 900000),
+    "age": (18, 70),
+    "year": (1990, 2023),
+    "capacity": (50, 1200),
+    "count": (1, 500),
+    "rating": (1, 10),
+    "weight": (1, 120),
+    "distance": (1, 5000),
+    "percentage": (0, 100),
+    "id": (1, 10000),
+}
+
+
+class DataGenerator:
+    """Populate a :class:`DatabaseSchema` with deterministic synthetic rows."""
+
+    def __init__(self, seed: int = 0, rows_per_table: int = 40):
+        self.seed = seed
+        self.rows_per_table = rows_per_table
+
+    def populate(self, schema: DatabaseSchema, rows_per_table: Optional[int] = None) -> Database:
+        """Return a populated :class:`Database` for ``schema``."""
+        rows_per_table = rows_per_table or self.rows_per_table
+        rng = random.Random(f"{self.seed}:{schema.name}")
+        database = Database(schema)
+        primary_keys: Dict[str, List[object]] = {}
+        for table_schema in schema.tables:
+            rows = [
+                self._generate_row(table_schema, row_index, rng, schema, primary_keys)
+                for row_index in range(rows_per_table)
+            ]
+            database.table(table_schema.name).extend(rows)
+            primary = table_schema.primary_key
+            if primary is not None:
+                primary_keys[table_schema.name] = [row[primary.name] for row in rows]
+        self._apply_foreign_keys(database, rng, primary_keys)
+        return database
+
+    def _generate_row(
+        self,
+        table_schema: TableSchema,
+        row_index: int,
+        rng: random.Random,
+        schema: DatabaseSchema,
+        primary_keys: Dict[str, List[object]],
+    ) -> Dict[str, object]:
+        row: Dict[str, object] = {}
+        for column in table_schema.columns:
+            row[column.name] = self._generate_value(column, row_index, rng)
+        return row
+
+    def _generate_value(self, column: Column, row_index: int, rng: random.Random) -> object:
+        if column.is_primary:
+            return row_index + 1
+        semantic = column.semantic or column.name.lower()
+        if column.ctype is ColumnType.NUMBER:
+            low, high = self._number_range(semantic)
+            return rng.randint(low, high)
+        if column.ctype is ColumnType.DATE:
+            year = rng.randint(1995, 2023)
+            month = rng.randint(1, 12)
+            day = rng.randint(1, 28)
+            return f"{year:04d}-{month:02d}-{day:02d}"
+        if column.ctype is ColumnType.BOOLEAN:
+            return rng.random() < 0.5
+        pool = self._text_pool(semantic)
+        return rng.choice(pool)
+
+    def _number_range(self, semantic: str) -> tuple:
+        for key, value_range in _SEMANTIC_NUMBER_RANGES.items():
+            if key in semantic:
+                return value_range
+        return (1, 1000)
+
+    def _text_pool(self, semantic: str) -> List[str]:
+        for key, pool in _SEMANTIC_TEXT_POOLS.items():
+            if key in semantic:
+                return pool
+        return _GENERIC_WORDS
+
+    def _apply_foreign_keys(
+        self,
+        database: Database,
+        rng: random.Random,
+        primary_keys: Dict[str, List[object]],
+    ) -> None:
+        """Rewrite foreign-key columns to reference existing primary keys."""
+        for foreign_key in database.schema.foreign_keys:
+            if foreign_key.ref_table not in primary_keys:
+                continue
+            if not database.has_table(foreign_key.table):
+                continue
+            referenced = primary_keys[foreign_key.ref_table]
+            table = database.table(foreign_key.table)
+            if not table.has_column(foreign_key.column):
+                continue
+            canonical = table.canonical_column(foreign_key.column)
+            for row in table.rows:
+                row[canonical] = rng.choice(referenced)

@@ -1,0 +1,91 @@
+"""Row-oriented in-memory table storage."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.database.schema import TableSchema
+
+
+class Table:
+    """A table: a schema plus a list of rows (dicts keyed by column name).
+
+    Row dictionaries always use the schema's exact column names as keys; the
+    accessors are case-insensitive so DVQs written with different casing still
+    execute.
+    """
+
+    def __init__(self, schema: TableSchema, rows: Optional[Iterable[Dict[str, object]]] = None):
+        self.schema = schema
+        self._rows: List[Dict[str, object]] = []
+        self._name_map = {column.name.lower(): column.name for column in schema.columns}
+        if rows is not None:
+            for row in rows:
+                self.insert(row)
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def rows(self) -> List[Dict[str, object]]:
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        return iter(self._rows)
+
+    def canonical_column(self, name: str) -> str:
+        """Resolve ``name`` (any casing) to the schema's exact column name."""
+        key = name.lower()
+        if key not in self._name_map:
+            raise KeyError(f"Table {self.name!r} has no column named {name!r}")
+        return self._name_map[key]
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._name_map
+
+    def insert(self, row: Dict[str, object]) -> None:
+        """Insert a row, normalising keys to schema column names.
+
+        Missing columns are stored as ``None``; unknown keys raise ``KeyError``.
+        """
+        normalized: Dict[str, object] = {column.name: None for column in self.schema.columns}
+        for key, value in row.items():
+            normalized[self.canonical_column(key)] = value
+        self._rows.append(normalized)
+
+    def extend(self, rows: Iterable[Dict[str, object]]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def column_values(self, name: str) -> List[object]:
+        """All values of one column, in row order."""
+        canonical = self.canonical_column(name)
+        return [row[canonical] for row in self._rows]
+
+    def distinct_values(self, name: str) -> List[object]:
+        """Distinct non-null values of a column, preserving first-seen order."""
+        seen = set()
+        values: List[object] = []
+        for value in self.column_values(name):
+            if value is None or value in seen:
+                continue
+            seen.add(value)
+            values.append(value)
+        return values
+
+    def select_rows(self, columns: Sequence[str]) -> List[Dict[str, object]]:
+        """Project rows onto ``columns`` (canonical names preserved)."""
+        canonical = [self.canonical_column(column) for column in columns]
+        return [{name: row[name] for name in canonical} for row in self._rows]
+
+    def rename_columns(self, renames: Dict[str, str]) -> "Table":
+        """Return a new table whose schema and rows use the renamed columns."""
+        new_schema = self.schema.renamed(self.schema.name, renames)
+        new_rows = []
+        for row in self._rows:
+            new_rows.append({renames.get(key, key): value for key, value in row.items()})
+        return Table(new_schema, new_rows)

@@ -1,0 +1,73 @@
+"""Data Visualization Query (DVQ) language substrate.
+
+A DVQ is the intermediate representation used throughout the paper (also known
+as Vega-Zero in ncNet / nvBench).  A query looks like::
+
+    Visualize BAR SELECT JOB_ID , AVG(MANAGER_ID) FROM employees
+    WHERE salary BETWEEN 8000 AND 12000 GROUP BY JOB_ID
+    ORDER BY JOB_ID ASC
+
+This package provides the full language toolchain:
+
+* :mod:`repro.dvq.tokens` — tokenizer.
+* :mod:`repro.dvq.nodes` — the typed AST.
+* :mod:`repro.dvq.parser` — a recursive-descent parser.
+* :mod:`repro.dvq.serializer` — canonical text rendering.
+* :mod:`repro.dvq.components` — Vis / Axis / Data component extraction used by
+  the evaluation metrics.
+* :mod:`repro.dvq.normalize` — canonicalisation helpers for exact-match
+  comparison.
+"""
+
+from repro.dvq.errors import DVQError, DVQParseError, DVQTokenizeError
+from repro.dvq.nodes import (
+    AggregateExpr,
+    BinClause,
+    ChartType,
+    ColumnRef,
+    Condition,
+    DVQuery,
+    JoinClause,
+    OrderClause,
+    SelectItem,
+    SortDirection,
+    WhereClause,
+)
+from repro.dvq.parser import parse_dvq
+from repro.dvq.serializer import serialize_dvq
+from repro.dvq.tokens import Token, TokenType, tokenize
+from repro.dvq.components import (
+    AxisComponent,
+    DataComponent,
+    VisComponent,
+    extract_components,
+)
+from repro.dvq.normalize import normalize_dvq_text, queries_match
+
+__all__ = [
+    "AggregateExpr",
+    "AxisComponent",
+    "BinClause",
+    "ChartType",
+    "ColumnRef",
+    "Condition",
+    "DataComponent",
+    "DVQError",
+    "DVQParseError",
+    "DVQTokenizeError",
+    "DVQuery",
+    "JoinClause",
+    "OrderClause",
+    "SelectItem",
+    "SortDirection",
+    "Token",
+    "TokenType",
+    "VisComponent",
+    "WhereClause",
+    "extract_components",
+    "normalize_dvq_text",
+    "parse_dvq",
+    "queries_match",
+    "serialize_dvq",
+    "tokenize",
+]

@@ -1,0 +1,134 @@
+"""Extraction of the Vis / Axis / Data components used by the paper's metrics.
+
+Appendix A of the paper defines four accuracies.  Three of them compare
+individual query components:
+
+* **Vis accuracy** — the chart type matches.
+* **Axis accuracy** — the x/y (and optional colour) encodings match.
+* **Data accuracy** — the data transformation (source tables, filters,
+  grouping, ordering, binning) matches.
+
+This module turns a :class:`~repro.dvq.nodes.DVQuery` into hashable component
+objects so the metric computations reduce to equality checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.dvq.nodes import AggregateExpr, ColumnRef, DVQuery, SelectItem
+
+
+@dataclass(frozen=True)
+class VisComponent:
+    """The chart-type component of a DVQ."""
+
+    chart_type: str
+
+
+@dataclass(frozen=True)
+class AxisComponent:
+    """The axis (encoding) component of a DVQ.
+
+    Each channel is represented as a ``(aggregate, column)`` pair with the
+    aggregate name empty for bare columns.  Comparison is case-insensitive on
+    column names because nvBench treats column identifiers case-insensitively.
+    """
+
+    x: Tuple[str, str]
+    y: Tuple[str, str]
+    color: Optional[Tuple[str, str]] = None
+
+
+@dataclass(frozen=True)
+class DataComponent:
+    """The data-transformation component of a DVQ."""
+
+    tables: Tuple[str, ...]
+    conditions: Tuple[Tuple[str, str, str], ...]
+    connectors: Tuple[str, ...]
+    group_by: Tuple[str, ...]
+    order_by: Optional[Tuple[str, str, str]]
+    bin: Optional[Tuple[str, str]]
+
+
+@dataclass(frozen=True)
+class QueryComponents:
+    """All three components of a query, as used by the evaluator."""
+
+    vis: VisComponent
+    axis: AxisComponent
+    data: DataComponent
+
+
+def _channel_key(item: SelectItem) -> Tuple[str, str]:
+    if isinstance(item.expr, AggregateExpr):
+        aggregate = item.expr.function.value
+        column = item.expr.argument.column.lower()
+        if item.expr.distinct:
+            aggregate = f"{aggregate} DISTINCT"
+        return aggregate, column
+    return "", item.expr.column.lower()
+
+
+def _column_key(column: ColumnRef) -> str:
+    return column.column.lower()
+
+
+def _literal_key(value: object) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, str):
+        return value.lower()
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    if isinstance(value, tuple):
+        return ",".join(sorted(_literal_key(item) for item in value))
+    return str(value)
+
+
+def extract_components(query: DVQuery) -> QueryComponents:
+    """Extract the Vis, Axis and Data components from ``query``."""
+    vis = VisComponent(chart_type=query.chart_type.value)
+
+    x_key = _channel_key(query.x)
+    y_key = _channel_key(query.y)
+    color_key = _channel_key(query.color) if query.color is not None else None
+    axis = AxisComponent(x=x_key, y=y_key, color=color_key)
+
+    tables = tuple(sorted(table.lower() for table in query.referenced_tables()))
+    conditions = []
+    connectors: Tuple[str, ...] = ()
+    if query.where is not None:
+        for condition in query.where.conditions:
+            operator = condition.operator.upper()
+            if condition.negated:
+                operator = f"NOT {operator}"
+            value_key = _literal_key(condition.value)
+            if condition.operator.upper() == "BETWEEN":
+                value_key = f"{value_key}..{_literal_key(condition.value2)}"
+            conditions.append((_column_key(condition.column), operator, value_key))
+        connectors = tuple(connector.upper() for connector in query.where.connectors)
+    group_by = tuple(sorted(_column_key(column) for column in query.group_by))
+    order_by = None
+    if query.order_by is not None:
+        if isinstance(query.order_by.expr, AggregateExpr):
+            order_column = query.order_by.expr.argument.column.lower()
+            order_aggregate = query.order_by.expr.function.value
+        else:
+            order_column = query.order_by.expr.column.lower()
+            order_aggregate = ""
+        order_by = (order_aggregate, order_column, query.order_by.direction.value)
+    bin_key = None
+    if query.bin is not None:
+        bin_key = (_column_key(query.bin.column), query.bin.unit.value)
+    data = DataComponent(
+        tables=tables,
+        conditions=tuple(sorted(conditions)),
+        connectors=connectors,
+        group_by=group_by,
+        order_by=order_by,
+        bin=bin_key,
+    )
+    return QueryComponents(vis=vis, axis=axis, data=data)

@@ -1,0 +1,26 @@
+"""Exception hierarchy for the DVQ language toolchain."""
+
+
+class DVQError(Exception):
+    """Base class for all DVQ language errors."""
+
+
+class DVQTokenizeError(DVQError):
+    """Raised when the tokenizer encounters an invalid character sequence."""
+
+    def __init__(self, message, position=None, text=None):
+        super().__init__(message)
+        self.position = position
+        self.text = text
+
+
+class DVQParseError(DVQError):
+    """Raised when the parser cannot build an AST from a token stream."""
+
+    def __init__(self, message, token=None):
+        super().__init__(message)
+        self.token = token
+
+
+class DVQValidationError(DVQError):
+    """Raised when an AST is structurally valid but semantically inconsistent."""

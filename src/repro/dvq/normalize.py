@@ -1,0 +1,52 @@
+"""Canonicalisation helpers for DVQ comparison.
+
+Exact-match accuracy in nvBench tolerates superficial differences such as token
+spacing, keyword casing and quote style, while being sensitive to column-name
+casing differences only up to case-insensitive identity.  ``normalize_dvq_text``
+re-serializes a query through the parser so two strings compare equal exactly
+when their ASTs carry the same information.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dvq.components import extract_components
+from repro.dvq.errors import DVQError
+from repro.dvq.nodes import DVQuery
+from repro.dvq.parser import parse_dvq
+from repro.dvq.serializer import serialize_dvq
+
+
+def normalize_dvq_text(text: str) -> str:
+    """Return the canonical serialization of ``text``.
+
+    Falls back to whitespace-normalised, upper-cased text when the query cannot
+    be parsed (model outputs are frequently malformed).
+    """
+    try:
+        return serialize_dvq(parse_dvq(text))
+    except DVQError:
+        return " ".join(text.upper().split())
+
+
+def try_parse(text: str) -> Optional[DVQuery]:
+    """Parse ``text``, returning ``None`` on any DVQ error."""
+    try:
+        return parse_dvq(text)
+    except DVQError:
+        return None
+
+
+def queries_match(predicted: str, target: str) -> bool:
+    """True when two DVQ strings are equivalent under component comparison.
+
+    Two queries match when all three components (Vis, Axis, Data) are equal,
+    which is the paper's overall exact-match criterion.  Unparseable predictions
+    only match via literal (case-insensitive) string equality.
+    """
+    predicted_ast = try_parse(predicted)
+    target_ast = try_parse(target)
+    if predicted_ast is None or target_ast is None:
+        return " ".join(predicted.lower().split()) == " ".join(target.lower().split())
+    return extract_components(predicted_ast) == extract_components(target_ast)

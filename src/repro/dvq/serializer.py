@@ -1,0 +1,36 @@
+"""Canonical text rendering of DVQ ASTs.
+
+Serialization is the inverse of :func:`repro.dvq.parser.parse_dvq` up to token
+spacing: ``parse(serialize(q)) == normalize(q)`` for every well-formed query,
+which the property-based tests exercise.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dvq.nodes import DVQuery
+
+
+def serialize_dvq(query: DVQuery) -> str:
+    """Render ``query`` in the canonical nvBench surface syntax."""
+    parts: List[str] = ["Visualize", query.chart_type.value, "SELECT"]
+    parts.append(" , ".join(item.render() for item in query.select))
+    parts.append("FROM")
+    table = query.table
+    if query.table_alias:
+        table = f"{table} AS {query.table_alias}"
+    parts.append(table)
+    for join in query.joins:
+        parts.append(join.render())
+    if query.where is not None and query.where.conditions:
+        parts.append("WHERE")
+        parts.append(query.where.render())
+    if query.group_by:
+        parts.append("GROUP BY")
+        parts.append(" , ".join(column.qualified() for column in query.group_by))
+    if query.order_by is not None:
+        parts.append(query.order_by.render())
+    if query.bin is not None:
+        parts.append(query.bin.render())
+    return " ".join(parts)

@@ -1,0 +1,21 @@
+"""Text embeddings and vector retrieval.
+
+GRED's preparatory phase converts every training NLQ and DVQ into an embedding
+vector with OpenAI's ``text-embedding-3-large`` and retrieves the top-K most
+similar examples by cosine similarity.  This package provides the offline
+substitute: a deterministic hashed word/character n-gram TF-IDF embedder and a
+NumPy-backed vector store exposing cosine top-K search.
+"""
+
+from repro.embeddings.tokenization import char_ngrams, word_tokens
+from repro.embeddings.embedder import EmbedderConfig, TextEmbedder
+from repro.embeddings.store import SearchHit, VectorStore
+
+__all__ = [
+    "EmbedderConfig",
+    "SearchHit",
+    "TextEmbedder",
+    "VectorStore",
+    "char_ngrams",
+    "word_tokens",
+]

@@ -1,0 +1,120 @@
+"""A hashed word/character n-gram TF-IDF text embedder.
+
+This is the offline stand-in for ``text-embedding-3-large``: it maps arbitrary
+text to a fixed-size dense vector such that lexically and morphologically
+similar sentences are close in cosine space.  The embedder can optionally be
+fitted on a corpus to learn IDF weights; without fitting it falls back to
+uniform term weights, so it is usable both for the preparatory phase (fit on
+the training NLQs/DVQs) and for ad-hoc similarity scoring.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.embeddings.tokenization import char_ngrams, word_tokens
+
+
+@dataclass(frozen=True)
+class EmbedderConfig:
+    """Configuration of the :class:`TextEmbedder`.
+
+    Attributes:
+        dimensions: size of the output vector.
+        char_n: character n-gram length (0 disables character features).
+        use_words: include word-level features.
+        seed: hashing seed, giving different but deterministic projections.
+    """
+
+    dimensions: int = 512
+    char_n: int = 3
+    use_words: bool = True
+    seed: int = 13
+
+
+def _stable_hash(token: str, seed: int) -> int:
+    digest = hashlib.blake2b(f"{seed}:{token}".encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class TextEmbedder:
+    """Deterministic lexical embedder with optional IDF fitting."""
+
+    def __init__(self, config: EmbedderConfig = EmbedderConfig()):
+        self.config = config
+        self._idf: Dict[str, float] = {}
+        self._fitted = False
+
+    # -- feature extraction ------------------------------------------------
+
+    def features(self, text: str) -> Dict[str, float]:
+        """Raw term-frequency features of ``text``."""
+        counts: Dict[str, float] = {}
+        if self.config.use_words:
+            for token in word_tokens(text):
+                key = f"w:{token}"
+                counts[key] = counts.get(key, 0.0) + 1.0
+        if self.config.char_n:
+            for gram in char_ngrams(text, self.config.char_n):
+                key = f"c:{gram}"
+                counts[key] = counts.get(key, 0.0) + 0.5
+        return counts
+
+    # -- fitting -----------------------------------------------------------
+
+    def fit(self, corpus: Iterable[str]) -> "TextEmbedder":
+        """Learn IDF weights from a corpus of documents."""
+        document_frequency: Dict[str, int] = {}
+        total_documents = 0
+        for document in corpus:
+            total_documents += 1
+            for term in set(self.features(document)):
+                document_frequency[term] = document_frequency.get(term, 0) + 1
+        self._idf = {
+            term: math.log((1 + total_documents) / (1 + frequency)) + 1.0
+            for term, frequency in document_frequency.items()
+        }
+        self._fitted = True
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    # -- embedding ---------------------------------------------------------
+
+    def embed(self, text: str) -> np.ndarray:
+        """Embed one text into a unit-norm vector of ``config.dimensions``."""
+        vector = np.zeros(self.config.dimensions, dtype=np.float64)
+        for term, frequency in self.features(text).items():
+            weight = frequency * self._idf.get(term, 1.0)
+            slot = _stable_hash(term, self.config.seed)
+            index = slot % self.config.dimensions
+            sign = 1.0 if (slot >> 62) & 1 == 0 else -1.0
+            vector[index] += sign * weight
+        norm = np.linalg.norm(vector)
+        if norm > 0:
+            vector /= norm
+        return vector
+
+    def embed_batch(self, texts: Sequence[str]) -> np.ndarray:
+        """Embed many texts into a ``(len(texts), dimensions)`` matrix."""
+        if not texts:
+            return np.zeros((0, self.config.dimensions), dtype=np.float64)
+        return np.vstack([self.embed(text) for text in texts])
+
+    def similarity(self, left: str, right: str) -> float:
+        """Cosine similarity of two texts in [-1, 1]."""
+        return float(np.dot(self.embed(left), self.embed(right)))
+
+
+def cosine_similarity_matrix(queries: np.ndarray, corpus: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarities between two stacks of unit-norm vectors."""
+    if queries.ndim == 1:
+        queries = queries[None, :]
+    return queries @ corpus.T

@@ -1,0 +1,78 @@
+"""A NumPy-backed vector store with cosine top-K retrieval.
+
+This is GRED's "embedding vector library": during the preparatory phase every
+training NLQ and DVQ is embedded and inserted with its payload (the full
+training example); at inference time the generator and retuner issue top-K
+queries against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from repro.embeddings.embedder import TextEmbedder
+
+PayloadT = TypeVar("PayloadT")
+
+
+@dataclass
+class SearchHit(Generic[PayloadT]):
+    """One retrieval result: the stored payload plus its similarity score."""
+
+    key: str
+    payload: PayloadT
+    score: float
+
+
+class VectorStore(Generic[PayloadT]):
+    """An append-only store of (key, text, payload) triples with cosine search."""
+
+    def __init__(self, embedder: TextEmbedder):
+        self.embedder = embedder
+        self._keys: List[str] = []
+        self._texts: List[str] = []
+        self._payloads: List[PayloadT] = []
+        self._matrix: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def add(self, key: str, text: str, payload: PayloadT) -> None:
+        """Add one entry; the matrix is rebuilt lazily on the next search."""
+        self._keys.append(key)
+        self._texts.append(text)
+        self._payloads.append(payload)
+        self._matrix = None
+
+    def add_many(self, entries: Sequence[tuple]) -> None:
+        """Add ``(key, text, payload)`` triples in bulk."""
+        for key, text, payload in entries:
+            self.add(key, text, payload)
+
+    def _ensure_matrix(self) -> np.ndarray:
+        if self._matrix is None:
+            self._matrix = self.embedder.embed_batch(self._texts)
+        return self._matrix
+
+    def search(self, query: str, top_k: int = 10) -> List[SearchHit[PayloadT]]:
+        """Return the ``top_k`` most similar entries to ``query`` (descending score)."""
+        if not self._keys or top_k <= 0:
+            return []
+        matrix = self._ensure_matrix()
+        query_vector = self.embedder.embed(query)
+        scores = matrix @ query_vector
+        top_k = min(top_k, len(self._keys))
+        best = np.argsort(-scores)[:top_k]
+        return [
+            SearchHit(key=self._keys[index], payload=self._payloads[index], score=float(scores[index]))
+            for index in best
+        ]
+
+    def texts(self) -> List[str]:
+        return list(self._texts)
+
+    def payloads(self) -> List[PayloadT]:
+        return list(self._payloads)

@@ -1,0 +1,65 @@
+"""Tokenization utilities shared by the embedder and the baseline models."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_WORD_PATTERN = re.compile(r"[A-Za-z_][A-Za-z0-9_]*|\d+(?:\.\d+)?")
+
+#: A small English stop-word list; schema words are never stop words.
+STOP_WORDS = frozenset(
+    {
+        "a", "an", "the", "of", "for", "and", "or", "in", "on", "by", "to",
+        "with", "is", "are", "please", "me", "give", "show", "that", "whose",
+        "their", "each", "all", "as", "at", "be", "it", "its",
+    }
+)
+
+
+def word_tokens(text: str, lowercase: bool = True, split_identifiers: bool = True) -> List[str]:
+    """Split ``text`` into word tokens.
+
+    Identifiers written in snake_case or CamelCase are additionally split into
+    their parts (``HIRE_DATE`` -> ``hire date``), which lets lexical embeddings
+    relate questions to schema tokens the same way sub-word models do.
+    """
+    tokens: List[str] = []
+    for match in _WORD_PATTERN.finditer(text):
+        token = match.group(0)
+        if lowercase:
+            token = token.lower()
+        tokens.append(token)
+        if split_identifiers:
+            parts = split_identifier(match.group(0))
+            if len(parts) > 1:
+                tokens.extend(part.lower() if lowercase else part for part in parts)
+    return tokens
+
+
+def split_identifier(identifier: str) -> List[str]:
+    """Split a snake_case / CamelCase identifier into its constituent words."""
+    pieces: List[str] = []
+    for chunk in identifier.split("_"):
+        if not chunk:
+            continue
+        pieces.extend(_split_camel(chunk))
+    return [piece for piece in pieces if piece]
+
+
+def _split_camel(chunk: str) -> List[str]:
+    parts = re.findall(r"[A-Z]+(?=[A-Z][a-z])|[A-Z]?[a-z]+|[A-Z]+|\d+", chunk)
+    return parts if parts else [chunk]
+
+
+def content_words(text: str) -> List[str]:
+    """Word tokens with stop words removed (used for schema linking)."""
+    return [token for token in word_tokens(text) if token not in STOP_WORDS]
+
+
+def char_ngrams(text: str, n: int = 3) -> List[str]:
+    """Character n-grams of the lower-cased text with boundary markers."""
+    cleaned = f"#{text.lower().strip()}#"
+    if len(cleaned) <= n:
+        return [cleaned]
+    return [cleaned[i : i + n] for i in range(len(cleaned) - n + 1)]

@@ -1,0 +1,23 @@
+"""Evaluation metrics and reporting (Appendix A of the paper).
+
+Four accuracies are computed over a test set of (predicted, target) DVQ pairs:
+
+* **Vis accuracy** — chart-type component matches.
+* **Axis accuracy** — x/y(/colour) encodings match.
+* **Data accuracy** — data-transformation component matches.
+* **Overall accuracy** — all components match (exact match).
+"""
+
+from repro.evaluation.metrics import EvaluationResult, compare_queries, evaluate_predictions
+from repro.evaluation.evaluator import ModelEvaluator, PredictionRecord
+from repro.evaluation.report import format_accuracy_table, format_markdown_table
+
+__all__ = [
+    "EvaluationResult",
+    "ModelEvaluator",
+    "PredictionRecord",
+    "compare_queries",
+    "evaluate_predictions",
+    "format_accuracy_table",
+    "format_markdown_table",
+]

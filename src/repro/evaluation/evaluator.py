@@ -1,0 +1,86 @@
+"""Running a text-to-vis model over a dataset and collecting its accuracy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.evaluation.metrics import EvaluationResult, compare_queries, evaluate_predictions
+from repro.nvbench.dataset import NVBenchDataset
+from repro.nvbench.example import NVBenchExample
+
+
+@dataclass
+class PredictionRecord:
+    """One model prediction with its gold reference and component matches."""
+
+    example_id: str
+    db_id: str
+    nlq: str
+    predicted: str
+    target: str
+    vis_correct: bool
+    axis_correct: bool
+    data_correct: bool
+
+    @property
+    def overall_correct(self) -> bool:
+        return self.vis_correct and self.axis_correct and self.data_correct
+
+
+@dataclass
+class EvaluationRun:
+    """A full evaluation: per-example records plus the aggregate result."""
+
+    model_name: str
+    dataset_name: str
+    records: List[PredictionRecord] = field(default_factory=list)
+
+    @property
+    def result(self) -> EvaluationResult:
+        return evaluate_predictions((record.predicted, record.target) for record in self.records)
+
+    def errors(self) -> List[PredictionRecord]:
+        return [record for record in self.records if not record.overall_correct]
+
+    def accuracy_by_hardness(self, examples: Sequence[NVBenchExample]) -> Dict[str, EvaluationResult]:
+        hardness_by_id = {example.example_id: example.hardness for example in examples}
+        grouped: Dict[str, List] = {}
+        for record in self.records:
+            hardness = hardness_by_id.get(record.example_id, "unknown")
+            grouped.setdefault(hardness, []).append((record.predicted, record.target))
+        return {hardness: evaluate_predictions(pairs) for hardness, pairs in grouped.items()}
+
+
+class ModelEvaluator:
+    """Evaluate any object exposing ``predict(nlq, database) -> str``."""
+
+    def __init__(self, limit: Optional[int] = None):
+        self.limit = limit
+
+    def evaluate(self, model, dataset: NVBenchDataset, model_name: Optional[str] = None) -> EvaluationRun:
+        """Run ``model`` over every example of ``dataset`` and score it."""
+        if dataset.catalog is None:
+            raise ValueError("The dataset must carry its database catalog")
+        run = EvaluationRun(
+            model_name=model_name or type(model).__name__,
+            dataset_name=dataset.name,
+        )
+        examples = dataset.examples[: self.limit] if self.limit else dataset.examples
+        for example in examples:
+            database = dataset.catalog.get(example.db_id)
+            predicted = model.predict(example.nlq, database)
+            match = compare_queries(predicted, example.dvq)
+            run.records.append(
+                PredictionRecord(
+                    example_id=example.example_id,
+                    db_id=example.db_id,
+                    nlq=example.nlq,
+                    predicted=predicted,
+                    target=example.dvq,
+                    vis_correct=match.vis,
+                    axis_correct=match.axis,
+                    data_correct=match.data,
+                )
+            )
+        return run

@@ -1,0 +1,62 @@
+"""Human-readable formatting of evaluation results (paper-style tables)."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.evaluation.metrics import EvaluationResult
+
+#: Column order used by Tables 1-3 in the paper.
+TABLE_COLUMNS = ("Vis Acc.", "Data Acc.", "Axis Acc.", "Acc.")
+
+
+def _row_values(result: EvaluationResult) -> Sequence[str]:
+    return (
+        f"{result.vis_accuracy:.2%}",
+        f"{result.data_accuracy:.2%}",
+        f"{result.axis_accuracy:.2%}",
+        f"{result.overall_accuracy:.2%}",
+    )
+
+
+def format_accuracy_table(results: Mapping[str, EvaluationResult], title: str = "") -> str:
+    """Render a fixed-width table with one row per model (Tables 1-3 layout)."""
+    name_width = max([len("Model")] + [len(name) for name in results]) + 2
+    header = "Model".ljust(name_width) + "".join(column.rjust(12) for column in TABLE_COLUMNS)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(header))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, result in results.items():
+        lines.append(name.ljust(name_width) + "".join(value.rjust(12) for value in _row_values(result)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(results: Mapping[str, EvaluationResult], title: str = "") -> str:
+    """Render the same table as GitHub-flavoured markdown (for EXPERIMENTS.md)."""
+    lines = []
+    if title:
+        lines.append(f"**{title}**")
+        lines.append("")
+    lines.append("| Model | " + " | ".join(TABLE_COLUMNS) + " |")
+    lines.append("|---" * (len(TABLE_COLUMNS) + 1) + "|")
+    for name, result in results.items():
+        lines.append("| " + name + " | " + " | ".join(_row_values(result)) + " |")
+    return "\n".join(lines)
+
+
+def format_overall_series(series: Mapping[str, Mapping[str, float]], value_label: str = "Acc.") -> str:
+    """Render a Figure-3 style series: models x datasets with one number per cell."""
+    datasets = sorted({dataset for per_model in series.values() for dataset in per_model})
+    name_width = max([len("Model")] + [len(name) for name in series]) + 2
+    header = "Model".ljust(name_width) + "".join(dataset.rjust(24) for dataset in datasets)
+    lines = [f"{value_label} per dataset", header, "-" * len(header)]
+    for model_name, per_model in series.items():
+        cells = []
+        for dataset in datasets:
+            value = per_model.get(dataset)
+            cells.append((f"{value:.2%}" if value is not None else "-").rjust(24))
+        lines.append(model_name.ljust(name_width) + "".join(cells))
+    return "\n".join(lines)

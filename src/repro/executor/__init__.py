@@ -1,0 +1,20 @@
+"""Execution engine for DVQs over the in-memory relational substrate.
+
+The executor materialises the data series behind a chart: it evaluates the
+FROM/JOIN/WHERE/GROUP BY/ORDER BY/BIN parts of a DVQ against a
+:class:`repro.database.Database` and returns the projected rows.  It is the
+substrate behind chart rendering (Table 5 / Figure 5 case study) and behind
+execution-based sanity checks in the benchmark suite.
+"""
+
+from repro.executor.errors import ExecutionError
+from repro.executor.executor import DVQExecutor, ExecutionResult
+from repro.executor.functions import AGGREGATE_FUNCTIONS, apply_aggregate
+
+__all__ = [
+    "AGGREGATE_FUNCTIONS",
+    "DVQExecutor",
+    "ExecutionError",
+    "ExecutionResult",
+    "apply_aggregate",
+]

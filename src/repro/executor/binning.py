@@ -1,0 +1,79 @@
+"""Binning of temporal and numeric values for the DVQ ``BIN ... BY ...`` clause."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dvq.nodes import BinUnit
+
+_WEEKDAY_NAMES = [
+    "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday",
+]
+
+
+def _parse_date(value: object) -> Optional[tuple]:
+    """Parse a YYYY-MM-DD string into (year, month, day); None if not a date."""
+    if not isinstance(value, str):
+        return None
+    parts = value.split("-")
+    if len(parts) != 3:
+        return None
+    try:
+        year, month, day = (int(part) for part in parts)
+    except ValueError:
+        return None
+    if not (1 <= month <= 12 and 1 <= day <= 31):
+        return None
+    return year, month, day
+
+
+def _day_of_week(year: int, month: int, day: int) -> int:
+    """Zeller's congruence, returning 0=Monday ... 6=Sunday."""
+    if month < 3:
+        month += 12
+        year -= 1
+    century, year_of_century = divmod(year, 100)
+    weekday = (
+        day
+        + (13 * (month + 1)) // 5
+        + year_of_century
+        + year_of_century // 4
+        + century // 4
+        + 5 * century
+    ) % 7
+    # Zeller: 0=Saturday ... convert to 0=Monday
+    return (weekday + 5) % 7
+
+
+def bin_value(value: object, unit: BinUnit, interval: int = 100) -> object:
+    """Assign ``value`` to a bin according to ``unit``.
+
+    * ``YEAR`` / ``MONTH`` / ``WEEKDAY`` apply to date strings (``YYYY-MM-DD``)
+      and to plain integer years for the YEAR unit.
+    * ``INTERVAL`` buckets numeric values into fixed-width ranges.
+    * ``None`` values map to ``None`` so they can be filtered by callers.
+    """
+    if value is None:
+        return None
+    parsed = _parse_date(value)
+    if unit is BinUnit.YEAR:
+        if parsed is not None:
+            return parsed[0]
+        if isinstance(value, (int, float)):
+            return int(value)
+        return value
+    if unit is BinUnit.MONTH:
+        if parsed is not None:
+            return parsed[1]
+        return value
+    if unit is BinUnit.WEEKDAY:
+        if parsed is not None:
+            return _WEEKDAY_NAMES[_day_of_week(*parsed)]
+        return value
+    if unit is BinUnit.INTERVAL:
+        if isinstance(value, (int, float)):
+            width = max(int(interval), 1)
+            low = int(value // width) * width
+            return f"[{low}, {low + width})"
+        return value
+    raise ValueError(f"Unsupported bin unit {unit!r}")

@@ -1,0 +1,15 @@
+"""Execution-time errors."""
+
+
+class ExecutionError(Exception):
+    """Raised when a DVQ cannot be executed against a database.
+
+    Typical causes are references to columns or tables that do not exist in the
+    target database — exactly the failure mode the paper's Figure 1 illustrates
+    ("No Chart due to the error in specification").
+    """
+
+    def __init__(self, message, query=None, database=None):
+        super().__init__(message)
+        self.query = query
+        self.database = database

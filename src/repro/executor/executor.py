@@ -1,0 +1,302 @@
+"""The DVQ executor: turns a parsed DVQ plus a database into chart data rows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.database.database import Database
+from repro.dvq.nodes import (
+    AggregateExpr,
+    ColumnRef,
+    DVQuery,
+    SortDirection,
+)
+from repro.executor.binning import bin_value
+from repro.executor.errors import ExecutionError
+from repro.executor.functions import apply_aggregate
+from repro.executor.predicates import evaluate_where
+
+
+@dataclass
+class ExecutionResult:
+    """The materialised data series behind a chart.
+
+    Attributes:
+        columns: output column labels (x label first, then y, then colour).
+        rows: list of tuples aligned with ``columns``.
+        chart_type: the chart type of the executed query.
+    """
+
+    columns: List[str]
+    rows: List[Tuple[object, ...]] = field(default_factory=list)
+    chart_type: str = ""
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def as_dicts(self) -> List[Dict[str, object]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def x_values(self) -> List[object]:
+        return [row[0] for row in self.rows]
+
+    def y_values(self) -> List[object]:
+        return [row[1] if len(row) > 1 else None for row in self.rows]
+
+
+class _RowContext:
+    """A joined row with per-source-table sub-rows for qualified lookups."""
+
+    def __init__(self, parts: Dict[str, Dict[str, object]], aliases: Dict[str, str]):
+        self.parts = parts
+        self.aliases = aliases
+
+    def lookup(self, column: ColumnRef) -> object:
+        if column.table:
+            table_name = self.aliases.get(column.table.lower(), column.table).lower()
+            for part_name, part in self.parts.items():
+                if part_name.lower() == table_name:
+                    return _lookup_in_row(part, column.column)
+            raise ExecutionError(f"Unknown table or alias {column.table!r}")
+        for part in self.parts.values():
+            try:
+                return _lookup_in_row(part, column.column)
+            except KeyError:
+                continue
+        raise ExecutionError(f"Unknown column {column.column!r}")
+
+
+def _lookup_in_row(row: Dict[str, object], column_name: str) -> object:
+    for key, value in row.items():
+        if key.lower() == column_name.lower():
+            return value
+    raise KeyError(column_name)
+
+
+class DVQExecutor:
+    """Execute DVQs against in-memory databases."""
+
+    def __init__(self, bin_interval: int = 100):
+        self.bin_interval = bin_interval
+
+    def execute(self, query: DVQuery, database: Database) -> ExecutionResult:
+        """Execute ``query`` against ``database``.
+
+        Raises:
+            ExecutionError: when the query references missing tables or columns
+                — the "no chart" failure mode of non-robust models.
+        """
+        contexts = self._build_contexts(query, database)
+        contexts = self._apply_where(query, contexts)
+        if self._needs_grouping(query):
+            rows = self._execute_grouped(query, contexts)
+        else:
+            rows = self._execute_flat(query, contexts)
+        rows = self._apply_order(query, rows)
+        columns = [item.render() for item in query.select]
+        return ExecutionResult(columns=columns, rows=rows, chart_type=query.chart_type.value)
+
+    def can_execute(self, query: DVQuery, database: Database) -> bool:
+        """True when the query executes without error (used by benches)."""
+        try:
+            self.execute(query, database)
+        except ExecutionError:
+            return False
+        return True
+
+    # -- pipeline stages -------------------------------------------------
+
+    def _build_contexts(self, query: DVQuery, database: Database) -> List[_RowContext]:
+        if not database.has_table(query.table):
+            raise ExecutionError(
+                f"Database {database.name!r} has no table {query.table!r}",
+                query=query,
+                database=database.name,
+            )
+        aliases: Dict[str, str] = {}
+        if query.table_alias:
+            aliases[query.table_alias.lower()] = query.table
+        primary = database.table(query.table)
+        contexts = [
+            _RowContext({primary.name: row}, aliases) for row in primary.rows
+        ]
+        for join in query.joins:
+            if not database.has_table(join.table):
+                raise ExecutionError(
+                    f"Database {database.name!r} has no table {join.table!r}",
+                    query=query,
+                    database=database.name,
+                )
+            if join.alias:
+                aliases[join.alias.lower()] = join.table
+            joined = database.table(join.table)
+            contexts = self._join(contexts, joined.rows, joined.name, join.left, join.right, aliases)
+        self._validate_columns(query, contexts, database)
+        return contexts
+
+    def _join(
+        self,
+        contexts: List[_RowContext],
+        right_rows: Sequence[Dict[str, object]],
+        right_name: str,
+        left_key: ColumnRef,
+        right_key: ColumnRef,
+        aliases: Dict[str, str],
+    ) -> List[_RowContext]:
+        joined: List[_RowContext] = []
+        for context in contexts:
+            context.aliases = aliases
+            try:
+                left_value = context.lookup(left_key)
+                use_left_on_context = True
+            except ExecutionError:
+                use_left_on_context = False
+            for row in right_rows:
+                if use_left_on_context:
+                    try:
+                        right_value = _lookup_in_row(row, right_key.column)
+                    except KeyError:
+                        try:
+                            right_value = _lookup_in_row(row, left_key.column)
+                        except KeyError:
+                            continue
+                else:
+                    # the "left" side of the ON clause actually names the new table
+                    try:
+                        right_value = _lookup_in_row(row, left_key.column)
+                        left_value = context.lookup(right_key)
+                    except (KeyError, ExecutionError):
+                        continue
+                if left_value == right_value:
+                    parts = dict(context.parts)
+                    parts[right_name] = row
+                    joined.append(_RowContext(parts, aliases))
+        return joined
+
+    def _validate_columns(
+        self, query: DVQuery, contexts: List[_RowContext], database: Database
+    ) -> None:
+        available: List[str] = []
+        for table_name in query.referenced_tables():
+            if database.has_table(table_name):
+                available.extend(
+                    column.lower() for column in database.table(table_name).schema.column_names()
+                )
+        for column in query.referenced_columns():
+            if column.column == "*":
+                continue
+            if column.column.lower() not in available:
+                raise ExecutionError(
+                    f"Column {column.column!r} does not exist in tables {query.referenced_tables()}",
+                    query=query,
+                    database=database.name,
+                )
+
+    def _apply_where(self, query: DVQuery, contexts: List[_RowContext]) -> List[_RowContext]:
+        if query.where is None or not query.where.conditions:
+            return contexts
+        filtered = []
+        for context in contexts:
+            values = [context.lookup(condition.column) for condition in query.where.conditions]
+            if evaluate_where(query.where, {}, values):
+                filtered.append(context)
+        return filtered
+
+    def _needs_grouping(self, query: DVQuery) -> bool:
+        if query.group_by or query.bin is not None:
+            return True
+        return any(item.is_aggregate for item in query.select)
+
+    def _group_key(self, query: DVQuery, context: _RowContext) -> Tuple[object, ...]:
+        keys: List[object] = []
+        if query.bin is not None:
+            keys.append(
+                bin_value(context.lookup(query.bin.column), query.bin.unit, self.bin_interval)
+            )
+        for column in query.group_by:
+            keys.append(context.lookup(column))
+        if not keys:
+            # implicit grouping by the non-aggregated select columns
+            for item in query.select:
+                if not item.is_aggregate and item.column.column != "*":
+                    keys.append(context.lookup(item.column))
+        if not keys:
+            keys.append("__all__")
+        return tuple(keys)
+
+    def _execute_grouped(self, query: DVQuery, contexts: List[_RowContext]) -> List[Tuple[object, ...]]:
+        groups: Dict[Tuple[object, ...], List[_RowContext]] = {}
+        order: List[Tuple[object, ...]] = []
+        for context in contexts:
+            key = self._group_key(query, context)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(context)
+        rows: List[Tuple[object, ...]] = []
+        for key in order:
+            members = groups[key]
+            row = tuple(
+                self._evaluate_select_item(item, members, query, key) for item in query.select
+            )
+            rows.append(row)
+        return rows
+
+    def _evaluate_select_item(
+        self,
+        item,
+        members: List[_RowContext],
+        query: DVQuery,
+        group_key: Tuple[object, ...],
+    ) -> object:
+        if isinstance(item.expr, AggregateExpr):
+            argument = item.expr.argument
+            if argument.column == "*":
+                values: List[object] = [1] * len(members)
+            else:
+                values = [member.lookup(argument) for member in members]
+            return apply_aggregate(item.expr.function.value, values, distinct=item.expr.distinct)
+        # non-aggregated column: binned x axis takes the bin label
+        if query.bin is not None and item.column.lower_key() == query.bin.column.lower_key():
+            return group_key[0]
+        return members[0].lookup(item.expr)
+
+    def _execute_flat(self, query: DVQuery, contexts: List[_RowContext]) -> List[Tuple[object, ...]]:
+        rows = []
+        for context in contexts:
+            rows.append(tuple(context.lookup(item.column) for item in query.select))
+        return rows
+
+    def _apply_order(self, query: DVQuery, rows: List[Tuple[object, ...]]) -> List[Tuple[object, ...]]:
+        if query.order_by is None:
+            return rows
+        order = query.order_by
+        index = self._order_index(query)
+
+        def sort_key(row: Tuple[object, ...]):
+            value = row[index] if index < len(row) else None
+            # sort Nones last, mixed types by string form
+            if value is None:
+                return (2, "")
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return (0, float(value))
+            return (1, str(value).lower())
+
+        reverse = order.direction is SortDirection.DESC
+        return sorted(rows, key=sort_key, reverse=reverse)
+
+    def _order_index(self, query: DVQuery) -> int:
+        order = query.order_by
+        assert order is not None
+        if isinstance(order.expr, AggregateExpr):
+            target_column = order.expr.argument.column.lower()
+            for index, item in enumerate(query.select):
+                if isinstance(item.expr, AggregateExpr) and item.expr.argument.column.lower() == target_column:
+                    return index
+            return 1 if len(query.select) > 1 else 0
+        target = order.expr.column.lower()
+        for index, item in enumerate(query.select):
+            if item.column.column.lower() == target:
+                return index
+        return 0

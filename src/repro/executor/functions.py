@@ -1,0 +1,75 @@
+"""Aggregate functions used by the executor."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+
+def _numeric(values: Sequence[object]) -> List[float]:
+    numbers = []
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, bool):
+            numbers.append(1.0 if value else 0.0)
+        elif isinstance(value, (int, float)):
+            numbers.append(float(value))
+        else:
+            try:
+                numbers.append(float(value))
+            except (TypeError, ValueError):
+                continue
+    return numbers
+
+
+def agg_count(values: Sequence[object], distinct: bool = False) -> int:
+    present = [value for value in values if value is not None]
+    if distinct:
+        return len(set(present))
+    return len(present)
+
+
+def agg_sum(values: Sequence[object], distinct: bool = False) -> Optional[float]:
+    numbers = _numeric(set(values) if distinct else values)
+    if not numbers:
+        return None
+    return sum(numbers)
+
+
+def agg_avg(values: Sequence[object], distinct: bool = False) -> Optional[float]:
+    numbers = _numeric(set(values) if distinct else values)
+    if not numbers:
+        return None
+    return sum(numbers) / len(numbers)
+
+
+def agg_min(values: Sequence[object], distinct: bool = False) -> Optional[object]:
+    present = [value for value in values if value is not None]
+    if not present:
+        return None
+    return min(present)
+
+
+def agg_max(values: Sequence[object], distinct: bool = False) -> Optional[object]:
+    present = [value for value in values if value is not None]
+    if not present:
+        return None
+    return max(present)
+
+
+AGGREGATE_FUNCTIONS: Dict[str, Callable] = {
+    "COUNT": agg_count,
+    "SUM": agg_sum,
+    "AVG": agg_avg,
+    "MIN": agg_min,
+    "MAX": agg_max,
+}
+
+
+def apply_aggregate(name: str, values: Sequence[object], distinct: bool = False) -> object:
+    """Apply the aggregate ``name`` to ``values``.
+
+    Raises:
+        KeyError: for unknown aggregate names.
+    """
+    return AGGREGATE_FUNCTIONS[name.upper()](values, distinct=distinct)

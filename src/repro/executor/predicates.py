@@ -1,0 +1,109 @@
+"""Evaluation of WHERE-clause predicates over rows."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.dvq.nodes import Condition, WhereClause
+
+
+def _coerce_pair(left: object, right: object):
+    """Coerce both operands so comparisons behave like SQLite's affinity rules."""
+    if left is None or right is None:
+        return left, right
+    if isinstance(left, (int, float)) and isinstance(right, str):
+        try:
+            return left, float(right)
+        except ValueError:
+            return str(left), right
+    if isinstance(left, str) and isinstance(right, (int, float)):
+        try:
+            return float(left), right
+        except ValueError:
+            return left, str(right)
+    return left, right
+
+
+def _compare(left: object, operator: str, right: object) -> bool:
+    left, right = _coerce_pair(left, right)
+    if left is None or right is None:
+        # SQL three-valued logic collapses to False for chart purposes,
+        # except equality against an explicit "null" sentinel string.
+        if operator in ("=", "!=") and isinstance(right, str) and right.lower() == "null":
+            is_null = left is None
+            return is_null if operator == "=" else not is_null
+        return False
+    if operator == "=":
+        return _loose_equal(left, right)
+    if operator == "!=":
+        return not _loose_equal(left, right)
+    try:
+        if operator == ">":
+            return left > right
+        if operator == ">=":
+            return left >= right
+        if operator == "<":
+            return left < right
+        if operator == "<=":
+            return left <= right
+    except TypeError:
+        return False
+    raise ValueError(f"Unsupported comparison operator {operator!r}")
+
+
+def _loose_equal(left: object, right: object) -> bool:
+    if isinstance(left, str) and isinstance(right, str):
+        return left.lower() == right.lower()
+    return left == right
+
+
+def _like(value: object, pattern: object) -> bool:
+    if value is None or pattern is None:
+        return False
+    text = str(value).lower()
+    pattern_text = str(pattern).lower()
+    if pattern_text.startswith("%") and pattern_text.endswith("%"):
+        return pattern_text.strip("%") in text
+    if pattern_text.startswith("%"):
+        return text.endswith(pattern_text.lstrip("%"))
+    if pattern_text.endswith("%"):
+        return text.startswith(pattern_text.rstrip("%"))
+    return text == pattern_text
+
+
+def evaluate_condition(condition: Condition, value: object) -> bool:
+    """Evaluate one condition against the value of its column in a row."""
+    operator = condition.operator.upper()
+    if operator == "BETWEEN":
+        return _compare(value, ">=", condition.value) and _compare(value, "<=", condition.value2)
+    if operator == "IN":
+        matched = any(_loose_equal(*_coerce_pair(value, item)) for item in condition.value)
+        return not matched if condition.negated else matched
+    if operator == "IS NULL":
+        is_null = value is None
+        return not is_null if condition.negated else is_null
+    if operator == "LIKE":
+        matched = _like(value, condition.value)
+        return not matched if condition.negated else matched
+    return _compare(value, operator, condition.value)
+
+
+def evaluate_where(
+    where: WhereClause, row: Dict[str, object], column_values: Sequence[object]
+) -> bool:
+    """Evaluate a WHERE clause given per-condition column values.
+
+    ``column_values[i]`` must be the row's value for ``where.conditions[i]``'s
+    column (resolution is the executor's job).  Connectors are applied
+    left-to-right without precedence, matching nvBench's flat DVQ semantics.
+    """
+    if not where.conditions:
+        return True
+    result = evaluate_condition(where.conditions[0], column_values[0])
+    for index, connector in enumerate(where.connectors):
+        next_value = evaluate_condition(where.conditions[index + 1], column_values[index + 1])
+        if connector.upper() == "AND":
+            result = result and next_value
+        else:
+            result = result or next_value
+    return result

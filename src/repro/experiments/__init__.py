@@ -1,0 +1,5 @@
+"""Experiment harness: everything needed to regenerate the paper's tables and figures."""
+
+from repro.experiments.workbench import Workbench, WorkbenchConfig
+
+__all__ = ["Workbench", "WorkbenchConfig"]

@@ -1,0 +1,152 @@
+"""The experiment workbench shared by benchmarks, examples and EXPERIMENTS.md.
+
+A :class:`Workbench` lazily builds the synthetic nvBench corpus, derives the
+nvBench-Rob robustness suite, trains the baseline models on the training split
+and prepares GRED — then evaluates any subset of models on any subset of the
+variant test sets.  All randomness is seeded through the corpus configuration,
+so two workbenches with the same configuration produce identical numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.ablation import build_ablation_variants
+from repro.core.config import GREDConfig
+from repro.core.pipeline import GRED
+from repro.evaluation.evaluator import EvaluationRun, ModelEvaluator
+from repro.evaluation.metrics import EvaluationResult
+from repro.models.base import TextToVisModel
+from repro.models.rgvisnet import RGVisNetModel
+from repro.models.seq2vis import Seq2VisModel
+from repro.models.transformer_model import TransformerModel
+from repro.nvbench.dataset import NVBenchDataset
+from repro.nvbench.generator import CorpusConfig, NVBenchGenerator
+from repro.robustness.variants import RobustnessSuite, RobustnessSuiteBuilder, VariantKind
+
+
+@dataclass(frozen=True)
+class WorkbenchConfig:
+    """Scale and seeding of a workbench run.
+
+    ``scale=1.0`` reproduces the paper-scale corpus (~7.6k pairs, ~1.2k test
+    pairs); benchmarks default to a smaller scale so a full table regenerates
+    in seconds rather than minutes.
+    """
+
+    scale: float = 0.15
+    seed: int = 7
+    evaluation_limit: Optional[int] = None
+    gred_top_k: int = 10
+
+
+@dataclass
+class Workbench:
+    """Lazily-constructed experiment state."""
+
+    config: WorkbenchConfig = field(default_factory=WorkbenchConfig)
+    _dataset: Optional[NVBenchDataset] = None
+    _suite: Optional[RobustnessSuite] = None
+    _baselines: Optional[Dict[str, TextToVisModel]] = None
+    _gred: Optional[GRED] = None
+
+    # -- construction ------------------------------------------------------------
+
+    @property
+    def dataset(self) -> NVBenchDataset:
+        if self._dataset is None:
+            generator = NVBenchGenerator(CorpusConfig(scale=self.config.scale, seed=self.config.seed))
+            self._dataset = generator.generate()
+        return self._dataset
+
+    @property
+    def suite(self) -> RobustnessSuite:
+        if self._suite is None:
+            self._suite = RobustnessSuiteBuilder().build(self.dataset)
+        return self._suite
+
+    def baselines(self) -> Dict[str, TextToVisModel]:
+        """The three baseline models, trained on the training split."""
+        if self._baselines is None:
+            models: Dict[str, TextToVisModel] = {
+                "Seq2Vis": Seq2VisModel(),
+                "Transformer": TransformerModel(),
+                "RGVisNet": RGVisNetModel(),
+            }
+            for model in models.values():
+                model.fit(self.dataset.train, self.dataset.catalog)
+            self._baselines = models
+        return self._baselines
+
+    def gred(self) -> GRED:
+        """The full GRED pipeline, prepared on the training split."""
+        if self._gred is None:
+            model = GRED(GREDConfig(top_k=self.config.gred_top_k))
+            model.fit(self.dataset.train, self.dataset.catalog)
+            self._gred = model
+        return self._gred
+
+    def gred_ablations(self) -> Dict[str, GRED]:
+        """The four ablation variants of Table 4, each prepared on the training split."""
+        variants = build_ablation_variants(top_k=self.config.gred_top_k)
+        for variant in variants.values():
+            variant.fit(self.dataset.train, self.dataset.catalog)
+        return variants
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def evaluate(self, model: TextToVisModel, dataset: NVBenchDataset,
+                 model_name: Optional[str] = None) -> EvaluationRun:
+        evaluator = ModelEvaluator(limit=self.config.evaluation_limit)
+        return evaluator.evaluate(model, dataset, model_name=model_name)
+
+    def evaluate_on_variant(self, model: TextToVisModel, kind: VariantKind,
+                            model_name: Optional[str] = None) -> EvaluationRun:
+        return self.evaluate(model, self.suite.variant(kind), model_name=model_name)
+
+    def table_results(self, kind: VariantKind,
+                      include_gred: bool = True) -> Dict[str, EvaluationResult]:
+        """One of Tables 1-3: every model's accuracies on one variant test set."""
+        results: Dict[str, EvaluationResult] = {}
+        for name, model in self.baselines().items():
+            results[name] = self.evaluate_on_variant(model, kind, model_name=name).result
+        if include_gred:
+            results["GRED (Ours)"] = self.evaluate_on_variant(self.gred(), kind, model_name="GRED").result
+        return results
+
+    def figure3_series(self, include_gred: bool = False) -> Dict[str, Dict[str, float]]:
+        """Figure 3: overall accuracy of each model on nvBench vs nvBench-Rob."""
+        series: Dict[str, Dict[str, float]] = {}
+        kinds = [VariantKind.ORIGINAL, VariantKind.BOTH]
+        models: Dict[str, TextToVisModel] = dict(self.baselines())
+        if include_gred:
+            models["GRED (Ours)"] = self.gred()
+        for name, model in models.items():
+            series[name] = {
+                kind.value: self.evaluate_on_variant(model, kind, model_name=name).result.overall_accuracy
+                for kind in kinds
+            }
+        return series
+
+    def ablation_table(self, kinds: Sequence[VariantKind] = (
+        VariantKind.NLQ, VariantKind.SCHEMA, VariantKind.BOTH,
+    )) -> Dict[str, Dict[str, float]]:
+        """Table 4: overall accuracy of each GRED ablation on the three variant sets."""
+        table: Dict[str, Dict[str, float]] = {}
+        for name, variant in self.gred_ablations().items():
+            table[name] = {
+                kind.value: self.evaluate_on_variant(variant, kind, model_name=name).result.overall_accuracy
+                for kind in kinds
+            }
+        return table
+
+    def case_study(self, index: int = 0) -> Dict[str, str]:
+        """Table 5: the DVQ every model produces for one dual-variant example."""
+        example = self.suite.dual_variant.examples[index]
+        database = self.suite.catalog.get(example.db_id)
+        predictions: Dict[str, str] = {"NLQ": example.nlq, "Target": example.dvq}
+        for name, model in self.baselines().items():
+            predictions[name] = model.predict(example.nlq, database)
+        predictions["GRED"] = self.gred().predict(example.nlq, database)
+        return predictions

@@ -1,0 +1,14 @@
+"""Schema linking: mapping natural-language phrases and foreign column names
+onto a database schema.
+
+Two configurations matter for the paper's story:
+
+* **lexical linking** (exact / substring identifier matching) — what the
+  baseline models rely on and what breaks under nvBench-Rob;
+* **semantic linking** (synonym lexicon + character-level similarity) — what
+  GRED's annotation-based debugger uses to repair column names.
+"""
+
+from repro.linking.linker import LinkCandidate, SchemaLinker
+
+__all__ = ["LinkCandidate", "SchemaLinker"]

@@ -1,0 +1,161 @@
+"""The schema linker used by baselines (lexical mode) and GRED (semantic mode)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.database.schema import Column, DatabaseSchema
+from repro.embeddings.tokenization import char_ngrams, content_words, split_identifier
+from repro.robustness.synonyms import SynonymLexicon, default_lexicon
+
+
+@dataclass(frozen=True)
+class LinkCandidate:
+    """A scored (table, column) candidate for a phrase or foreign column name."""
+
+    table: str
+    column: str
+    score: float
+
+
+def _jaccard(left: Sequence[str], right: Sequence[str]) -> float:
+    left_set, right_set = set(left), set(right)
+    if not left_set or not right_set:
+        return 0.0
+    return len(left_set & right_set) / len(left_set | right_set)
+
+
+class SchemaLinker:
+    """Scores how well a phrase refers to each column of a schema.
+
+    Args:
+        lexicon: synonym lexicon used in semantic mode.
+        use_synonyms: enable synonym-aware matching (semantic mode).
+        use_char_similarity: enable character n-gram similarity.
+        min_score: candidates scoring below this are discarded.
+    """
+
+    def __init__(
+        self,
+        lexicon: Optional[SynonymLexicon] = None,
+        use_synonyms: bool = True,
+        use_char_similarity: bool = True,
+        min_score: float = 0.2,
+    ):
+        self.lexicon = lexicon or default_lexicon()
+        self.use_synonyms = use_synonyms
+        self.use_char_similarity = use_char_similarity
+        self.min_score = min_score
+
+    # -- scoring -------------------------------------------------------------
+
+    def _expand(self, words: Sequence[str]) -> List[str]:
+        if not self.use_synonyms:
+            return [word.lower() for word in words]
+        expanded: List[str] = []
+        for word in words:
+            expanded.extend(self.lexicon.related_words(word))
+        return expanded
+
+    def column_words(self, column_name: str) -> List[str]:
+        return [word.lower() for word in split_identifier(column_name)] or [column_name.lower()]
+
+    def score_phrase(self, phrase_words: Sequence[str], column_name: str) -> float:
+        """Similarity in [0, 1] between a phrase (already tokenised) and a column."""
+        column_parts = self.column_words(column_name)
+        phrase_lower = [word.lower() for word in phrase_words]
+        if not phrase_lower:
+            return 0.0
+        # exact identifier mention (the nvBench shortcut)
+        joined = "_".join(phrase_lower)
+        if column_name.lower() == joined or column_name.lower() in phrase_lower:
+            return 1.0
+        word_score = _jaccard(self._expand(phrase_lower), self._expand(column_parts))
+        char_score = 0.0
+        if self.use_char_similarity:
+            char_score = _jaccard(
+                char_ngrams(" ".join(phrase_lower)), char_ngrams(" ".join(column_parts))
+            )
+        return max(word_score, 0.9 * char_score)
+
+    # -- public linking APIs ---------------------------------------------------
+
+    def link_phrase(
+        self,
+        phrase: str,
+        schema: DatabaseSchema,
+        preferred_table: Optional[str] = None,
+        top_k: int = 3,
+    ) -> List[LinkCandidate]:
+        """Rank schema columns by how well they match ``phrase``."""
+        words = content_words(phrase) or [phrase.lower()]
+        candidates: List[LinkCandidate] = []
+        for table_name, column in schema.all_columns():
+            score = self.score_phrase(words, column.name)
+            if preferred_table and table_name.lower() == preferred_table.lower():
+                score += 0.05
+            if score >= self.min_score:
+                candidates.append(LinkCandidate(table=table_name, column=column.name, score=score))
+        candidates.sort(key=lambda candidate: -candidate.score)
+        return candidates[:top_k]
+
+    def best_column(
+        self, phrase: str, schema: DatabaseSchema, preferred_table: Optional[str] = None
+    ) -> Optional[LinkCandidate]:
+        """The single best column for ``phrase`` (None when nothing clears the threshold)."""
+        candidates = self.link_phrase(phrase, schema, preferred_table=preferred_table, top_k=1)
+        return candidates[0] if candidates else None
+
+    def map_foreign_column(
+        self,
+        column_name: str,
+        schema: DatabaseSchema,
+        preferred_tables: Sequence[str] = (),
+    ) -> Optional[LinkCandidate]:
+        """Map a column name from *another* schema onto this schema.
+
+        This is the operation behind GRED's annotation-based debugger: the
+        generated DVQ mentions ``SALARY`` but the (renamed) schema only has
+        ``wage``; semantic linking recovers the correspondence.
+        """
+        if any(
+            column.name.lower() == column_name.lower()
+            for _, column in schema.all_columns()
+        ):
+            for table_name, column in schema.all_columns():
+                if column.name.lower() == column_name.lower():
+                    return LinkCandidate(table=table_name, column=column.name, score=1.0)
+        words = self.column_words(column_name)
+        best: Optional[LinkCandidate] = None
+        preferred = {table.lower() for table in preferred_tables}
+        for table_name, column in schema.all_columns():
+            score = self.score_phrase(words, column.name)
+            if table_name.lower() in preferred:
+                score += 0.1
+            if score >= self.min_score and (best is None or score > best.score):
+                best = LinkCandidate(table=table_name, column=column.name, score=score)
+        return best
+
+    def question_links(
+        self, nlq: str, schema: DatabaseSchema, top_k: int = 6
+    ) -> List[LinkCandidate]:
+        """Columns mentioned (explicitly or semantically) anywhere in a question."""
+        words = content_words(nlq)
+        scored: dict = {}
+        window_sizes = (1, 2, 3)
+        for size in window_sizes:
+            for start in range(0, max(0, len(words) - size + 1)):
+                window = words[start : start + size]
+                for table_name, column in schema.all_columns():
+                    score = self.score_phrase(window, column.name)
+                    key = (table_name, column.name)
+                    if score > scored.get(key, 0.0):
+                        scored[key] = score
+        candidates = [
+            LinkCandidate(table=table, column=column, score=score)
+            for (table, column), score in scored.items()
+            if score >= self.min_score
+        ]
+        candidates.sort(key=lambda candidate: -candidate.score)
+        return candidates[:top_k]

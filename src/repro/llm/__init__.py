@@ -1,0 +1,21 @@
+"""A simulated chat-completion LLM.
+
+GRED drives GPT-3.5-Turbo through three prompt families (generation, retuning,
+debugging) plus a database-annotation prompt used during preparation.  Offline
+we substitute :class:`SimulatedChatModel`: it exposes the same chat-completion
+interface (messages in, text out, temperature/penalty parameters accepted) and
+routes each prompt to a deterministic behaviour that mimics what the paper
+relies on the LLM to do — adapting retrieved examples, imitating programming
+style, and repairing schema references from annotations.
+"""
+
+from repro.llm.interface import ChatMessage, ChatModel, CompletionLog, CompletionParams
+from repro.llm.simulated import SimulatedChatModel
+
+__all__ = [
+    "ChatMessage",
+    "ChatModel",
+    "CompletionLog",
+    "CompletionParams",
+    "SimulatedChatModel",
+]

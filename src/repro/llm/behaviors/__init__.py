@@ -1,0 +1,13 @@
+"""Prompt-specific behaviours of the simulated LLM."""
+
+from repro.llm.behaviors.annotation import AnnotationBehaviour
+from repro.llm.behaviors.generation import GenerationBehaviour
+from repro.llm.behaviors.retune import RetuneBehaviour
+from repro.llm.behaviors.debug import DebugBehaviour
+
+__all__ = [
+    "AnnotationBehaviour",
+    "DebugBehaviour",
+    "GenerationBehaviour",
+    "RetuneBehaviour",
+]

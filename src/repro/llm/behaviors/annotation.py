@@ -1,0 +1,63 @@
+"""Database-annotation behaviour (Appendix C.1 of the paper).
+
+Given a schema description, produce natural-language annotations for every
+table and column.  The simulated model expands identifier words into readable
+phrases and adds the synonym glosses a real LLM would volunteer; those glosses
+are what make the annotation-based debugger able to repair renamed columns.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.database.schema import DatabaseSchema
+from repro.embeddings.tokenization import split_identifier
+from repro.llm.parsing import parse_schema_block
+from repro.robustness.synonyms import SynonymLexicon, default_lexicon
+
+
+class AnnotationBehaviour:
+    """Generates the per-table / per-column annotation block."""
+
+    name = "annotation"
+
+    def __init__(self, lexicon: Optional[SynonymLexicon] = None):
+        self.lexicon = lexicon or default_lexicon()
+
+    def run(self, prompt: str) -> str:
+        schema = parse_schema_block(prompt)
+        return self.annotate_schema(schema)
+
+    def annotate_schema(self, schema: DatabaseSchema) -> str:
+        """Render annotations for an already-parsed schema object."""
+        lines: List[str] = []
+        for table in schema.tables:
+            table_words = " ".join(split_identifier(table.name)).lower() or table.name.lower()
+            lines.append(f"Table {table.name}:")
+            lines.append(f"- Stores data related to {table_words} records.")
+            lines.append("- Columns:")
+            for column in table.columns:
+                lines.append(f"  - {column.name}: {self._describe_column(column.name)}")
+            lines.append("")
+        if schema.foreign_keys:
+            lines.append("Foreign Keys:")
+            for foreign_key in schema.foreign_keys:
+                lines.append(
+                    f"- {foreign_key.table}.{foreign_key.column} references "
+                    f"{foreign_key.ref_table}.{foreign_key.ref_column}."
+                )
+        return "\n".join(lines).strip()
+
+    def _describe_column(self, column_name: str) -> str:
+        words = [word.lower() for word in split_identifier(column_name)] or [column_name.lower()]
+        phrase = " ".join(words)
+        glosses: List[str] = []
+        for word in words:
+            for synonym in self.lexicon.synonyms_for(word)[:2]:
+                gloss = synonym.replace("_", " ")
+                if gloss not in glosses and gloss != word:
+                    glosses.append(gloss)
+        description = f"The {phrase} of the record."
+        if glosses:
+            description += f" Also known as: {', '.join(glosses)}."
+        return description

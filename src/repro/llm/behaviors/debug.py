@@ -1,0 +1,140 @@
+"""Annotation-based debugging behaviour (the Annotation-based Debugger's LLM call).
+
+Given an annotated database schema and a DVQ, replace every table or column
+reference that does not exist in the schema with the semantically closest one,
+leaving references that already exist untouched (the prompt's explicit
+instruction).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.database.schema import DatabaseSchema
+from repro.dvq.nodes import (
+    AggregateExpr,
+    ColumnRef,
+    Condition,
+    DVQuery,
+    SelectItem,
+)
+from repro.dvq.normalize import try_parse
+from repro.dvq.serializer import serialize_dvq
+from repro.linking.linker import SchemaLinker
+from repro.llm.parsing import parse_debug_prompt
+from repro.robustness.synonyms import SynonymLexicon, default_lexicon
+
+
+class DebugBehaviour:
+    """Repairs schema references in a DVQ against an annotated database."""
+
+    name = "debug"
+
+    def __init__(self, lexicon: Optional[SynonymLexicon] = None):
+        self.lexicon = lexicon or default_lexicon()
+        self.linker = SchemaLinker(lexicon=self.lexicon, use_synonyms=True,
+                                   use_char_similarity=True, min_score=0.15)
+
+    def run(self, prompt: str) -> str:
+        schema, _annotations, original = parse_debug_prompt(prompt)
+        if not original:
+            return ""
+        query = try_parse(original)
+        if query is None or not schema.tables:
+            return original
+        repaired = self.debug_query(query, schema)
+        return serialize_dvq(repaired)
+
+    # -- repair ----------------------------------------------------------------
+
+    def debug_query(self, query: DVQuery, schema: DatabaseSchema) -> DVQuery:
+        """Replace out-of-schema tables and columns in ``query``."""
+        table = self._repair_table(query.table, schema)
+        preferred_tables = [table] + [join.table for join in query.joins]
+
+        def repair_ref(ref: ColumnRef) -> ColumnRef:
+            return self._repair_column(ref, schema, preferred_tables)
+
+        def repair_expr(expr):
+            if isinstance(expr, ColumnRef):
+                return repair_ref(expr)
+            return AggregateExpr(
+                function=expr.function, argument=repair_ref(expr.argument), distinct=expr.distinct
+            )
+
+        new_select = tuple(SelectItem(repair_expr(item.expr)) for item in query.select)
+        new_joins = tuple(
+            join.__class__(
+                table=self._repair_table(join.table, schema),
+                left=repair_ref(join.left),
+                right=repair_ref(join.right),
+                alias=join.alias,
+            )
+            for join in query.joins
+        )
+        new_where = None
+        if query.where is not None:
+            new_where = query.where.__class__(
+                conditions=tuple(
+                    Condition(
+                        column=repair_ref(condition.column),
+                        operator=condition.operator,
+                        value=condition.value,
+                        value2=condition.value2,
+                        negated=condition.negated,
+                    )
+                    for condition in query.where.conditions
+                ),
+                connectors=query.where.connectors,
+            )
+        new_group = tuple(repair_ref(column) for column in query.group_by)
+        new_order = None
+        if query.order_by is not None:
+            new_order = query.order_by.__class__(
+                expr=repair_expr(query.order_by.expr), direction=query.order_by.direction
+            )
+        new_bin = None
+        if query.bin is not None:
+            new_bin = query.bin.__class__(column=repair_ref(query.bin.column), unit=query.bin.unit)
+        return query.replace(
+            select=new_select,
+            table=table,
+            joins=new_joins,
+            where=new_where,
+            group_by=new_group,
+            order_by=new_order,
+            bin=new_bin,
+        )
+
+    def _repair_table(self, table_name: str, schema: DatabaseSchema) -> str:
+        if schema.has_table(table_name):
+            return schema.table(table_name).name
+        best = None
+        best_score = 0.0
+        words = self.linker.column_words(table_name)
+        for table in schema.tables:
+            score = self.linker.score_phrase(words, table.name)
+            if score > best_score:
+                best_score = score
+                best = table.name
+        return best or (schema.tables[0].name if schema.tables else table_name)
+
+    def _repair_column(
+        self, ref: ColumnRef, schema: DatabaseSchema, preferred_tables: Sequence[str]
+    ) -> ColumnRef:
+        if ref.column == "*":
+            return ref
+        exists = any(
+            column.name.lower() == ref.column.lower() for _, column in schema.all_columns()
+        )
+        if exists:
+            # keep existing references untouched (prompt instruction), but
+            # normalise to the schema's canonical casing
+            for _, column in schema.all_columns():
+                if column.name.lower() == ref.column.lower():
+                    return ColumnRef(column=column.name, table=ref.table)
+            return ref
+        candidate = self.linker.map_foreign_column(ref.column, schema, preferred_tables)
+        if candidate is None:
+            return ref
+        return ColumnRef(column=candidate.column, table=ref.table)

@@ -1,0 +1,24 @@
+"""Section markers shared by GRED's prompt makers and the simulated LLM parser.
+
+The prompt layouts follow Appendix C of the paper.  Keeping the markers in one
+module lets :mod:`repro.core.prompts` build prompts and
+:mod:`repro.llm.parsing` parse them without the two packages importing each
+other.
+"""
+
+SCHEMA_HEADER = "### Database Schemas:"
+ANNOTATION_HEADER = "### Natural Language Annotations:"
+QUESTION_HEADER = "### Natural Language Question:"
+CHART_TYPES_HEADER = "### Chart Type:"
+DVQ_HEADER = "### Data Visualization Query:"
+REFERENCE_DVQS_HEADER = "### Reference DVQs:"
+ORIGINAL_DVQ_HEADER = "### Original DVQ:"
+MODIFIED_DVQ_HEADER = "### Modified DVQ:"
+REVISED_DVQ_HEADER = "### Revised DVQ:"
+ANSWER_PREFIX = "A:"
+
+#: Task sentinels used to route a prompt to the right behaviour.
+TASK_ANNOTATION = "Please generate detailed natural language annotations"
+TASK_GENERATION = "Generate DVQs based on their correspoding Database Schemas"
+TASK_RETUNE = "please modify the Original DVQ to mimic the style"
+TASK_DEBUG = "Please replace the column names in the Data Visualization Query"

@@ -1,0 +1,29 @@
+"""Baseline text-to-vis models evaluated in the paper.
+
+* :class:`Seq2VisModel` — the seq2seq baseline (Luo et al., 2021): a trained
+  sketch decoder plus an output vocabulary restricted to tokens seen during
+  training, with exact lexical matching for schema tokens.
+* :class:`TransformerModel` — the Transformer baseline (Vaswani et al., 2017):
+  a trained sketch decoder with a sub-word copy mechanism (character-level
+  lexical matching) over the input schema.
+* :class:`RGVisNetModel` — the retrieval-generation hybrid and previous SOTA
+  (Song et al., 2022): retrieves the most similar training DVQ as a prototype
+  and revises it against the target schema with lexical matching.
+
+All three share the property the paper identifies: schema linking is lexical,
+so their accuracy collapses when questions and schemas stop sharing surface
+forms.
+"""
+
+from repro.models.base import TextToVisModel, sketch_targets
+from repro.models.seq2vis import Seq2VisModel
+from repro.models.transformer_model import TransformerModel
+from repro.models.rgvisnet import RGVisNetModel
+
+__all__ = [
+    "RGVisNetModel",
+    "Seq2VisModel",
+    "TextToVisModel",
+    "TransformerModel",
+    "sketch_targets",
+]

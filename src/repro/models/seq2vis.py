@@ -1,0 +1,102 @@
+"""Seq2Vis: the sequence-to-sequence baseline (Luo et al., 2021).
+
+The reproduction keeps the two properties that drive Seq2Vis's robustness
+behaviour: a trained encoder-decoder that predicts the query sketch from the
+question, and an output vocabulary limited to tokens observed during training.
+Schema tokens are copied only through *exact* lexical matches between question
+words and column names — the over-reliance the paper documents.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.database.catalog import Catalog
+from repro.database.database import Database
+from repro.dvq.serializer import serialize_dvq
+from repro.linking.linker import SchemaLinker
+from repro.models.base import (
+    TextToVisModel,
+    collect_training_columns,
+    signals_from_sketch,
+    sketch_targets,
+)
+from repro.neural.features import BagOfWordsFeaturizer
+from repro.neural.mlp import TrainingConfig
+from repro.neural.multihead import MultiHeadSketchClassifier
+from repro.nlu.composer import QueryComposer, StructurePrior
+from repro.nvbench.example import NVBenchExample
+from repro.dvq.normalize import try_parse
+
+
+class Seq2VisModel(TextToVisModel):
+    """The Seq2Vis baseline."""
+
+    name = "Seq2Vis"
+
+    def __init__(self, max_train_examples: int = 4000,
+                 training_config: Optional[TrainingConfig] = None):
+        self.max_train_examples = max_train_examples
+        self.training_config = training_config or TrainingConfig(hidden_size=48, epochs=10, seed=11)
+        self.classifier = MultiHeadSketchClassifier(
+            config=self.training_config,
+            featurizer=BagOfWordsFeaturizer(),
+        )
+        # exact-match lexical linking only: no synonyms, no sub-word similarity
+        self.linker = SchemaLinker(use_synonyms=False, use_char_similarity=False, min_score=0.5)
+        self._memory_featurizer = BagOfWordsFeaturizer(use_bigrams=False)
+        self._memory_matrix: Optional[np.ndarray] = None
+        self._memory_examples: List[NVBenchExample] = []
+        self._vocabulary_columns: List[str] = []
+        self._fitted = False
+
+    # -- training ---------------------------------------------------------------
+
+    def fit(self, examples: Sequence[NVBenchExample], catalog: Catalog) -> "Seq2VisModel":
+        examples = list(examples)[: self.max_train_examples]
+        questions: List[str] = []
+        targets: List[Dict[str, str]] = []
+        for example in examples:
+            sketch = sketch_targets(example.dvq)
+            if sketch is None:
+                continue
+            questions.append(example.nlq)
+            targets.append(sketch)
+        self.classifier.fit(questions, targets)
+        self._vocabulary_columns = collect_training_columns(examples)
+        self._memory_examples = examples
+        self._memory_featurizer.fit(example.nlq for example in examples)
+        self._memory_matrix = self._memory_featurizer.transform(
+            [example.nlq for example in examples]
+        )
+        self._fitted = True
+        return self
+
+    # -- inference -----------------------------------------------------------------
+
+    def _nearest_training_example(self, nlq: str) -> Optional[NVBenchExample]:
+        if self._memory_matrix is None or not len(self._memory_examples):
+            return None
+        vector = self._memory_featurizer.transform_one(nlq)
+        scores = self._memory_matrix @ vector
+        return self._memory_examples[int(np.argmax(scores))]
+
+    def predict(self, nlq: str, database: Database) -> str:
+        if not self._fitted:
+            raise RuntimeError("Seq2VisModel.predict called before fit")
+        signals = signals_from_sketch(self.classifier.predict(nlq))
+        # the decoder's memory: structure of the closest training question
+        prior = StructurePrior()
+        nearest = self._nearest_training_example(nlq)
+        if nearest is not None:
+            nearest_query = try_parse(nearest.dvq)
+            if nearest_query is not None:
+                prior = StructurePrior.from_query(nearest_query)
+        composer = QueryComposer(
+            linker=self.linker,
+            allowed_columns=self._vocabulary_columns,
+        )
+        query = composer.compose(nlq, database.schema, prior=prior, signals=signals)
+        return serialize_dvq(query)

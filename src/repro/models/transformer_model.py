@@ -1,0 +1,63 @@
+"""Transformer baseline (Vaswani et al., 2017) for text-to-vis.
+
+Compared to Seq2Vis, the Transformer baseline can copy arbitrary schema tokens
+through its attention mechanism, which we reproduce as sub-word (character
+n-gram) lexical matching over the target schema.  It still has no notion of
+synonymy, so its schema linking degrades on nvBench-Rob in the same way the
+paper reports, just less severely than Seq2Vis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.database.catalog import Catalog
+from repro.database.database import Database
+from repro.dvq.serializer import serialize_dvq
+from repro.linking.linker import SchemaLinker
+from repro.models.base import TextToVisModel, signals_from_sketch, sketch_targets
+from repro.neural.features import BagOfWordsFeaturizer
+from repro.neural.mlp import TrainingConfig
+from repro.neural.multihead import MultiHeadSketchClassifier
+from repro.nlu.composer import QueryComposer
+from repro.nvbench.example import NVBenchExample
+
+
+class TransformerModel(TextToVisModel):
+    """The Transformer baseline."""
+
+    name = "Transformer"
+
+    def __init__(self, max_train_examples: int = 4000,
+                 training_config: Optional[TrainingConfig] = None):
+        self.max_train_examples = max_train_examples
+        self.training_config = training_config or TrainingConfig(hidden_size=64, epochs=12, seed=17)
+        self.classifier = MultiHeadSketchClassifier(
+            config=self.training_config,
+            featurizer=BagOfWordsFeaturizer(),
+        )
+        # sub-word copying: character-level similarity, still no synonym knowledge
+        self.linker = SchemaLinker(use_synonyms=False, use_char_similarity=True, min_score=0.4)
+        self._fitted = False
+
+    def fit(self, examples: Sequence[NVBenchExample], catalog: Catalog) -> "TransformerModel":
+        examples = list(examples)[: self.max_train_examples]
+        questions: List[str] = []
+        targets: List[Dict[str, str]] = []
+        for example in examples:
+            sketch = sketch_targets(example.dvq)
+            if sketch is None:
+                continue
+            questions.append(example.nlq)
+            targets.append(sketch)
+        self.classifier.fit(questions, targets)
+        self._fitted = True
+        return self
+
+    def predict(self, nlq: str, database: Database) -> str:
+        if not self._fitted:
+            raise RuntimeError("TransformerModel.predict called before fit")
+        signals = signals_from_sketch(self.classifier.predict(nlq))
+        composer = QueryComposer(linker=self.linker)
+        query = composer.compose(nlq, database.schema, signals=signals)
+        return serialize_dvq(query)

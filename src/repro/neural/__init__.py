@@ -1,0 +1,23 @@
+"""A small NumPy neural substrate used by the baseline text-to-vis models.
+
+The original baselines (Seq2Vis, Transformer, RGVisNet) are PyTorch
+encoder-decoders.  Offline we keep the part of those models that the paper's
+robustness analysis actually exercises — a trained encoder that predicts the
+query *sketch* (chart type, aggregation, ordering, grouping, binning) from the
+question, combined with a lexical copy mechanism for schema tokens — and
+implement the trainable encoder as NumPy multi-layer perceptrons over hashed
+bag-of-words features, trained with Adam and manual backpropagation.
+"""
+
+from repro.neural.vocab import Vocabulary
+from repro.neural.features import BagOfWordsFeaturizer
+from repro.neural.mlp import MLPClassifier, TrainingConfig
+from repro.neural.multihead import MultiHeadSketchClassifier
+
+__all__ = [
+    "BagOfWordsFeaturizer",
+    "MLPClassifier",
+    "MultiHeadSketchClassifier",
+    "TrainingConfig",
+    "Vocabulary",
+]

@@ -1,0 +1,49 @@
+"""Feature extraction for the neural sketch classifiers."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.embeddings.tokenization import word_tokens
+from repro.neural.vocab import Vocabulary
+
+
+class BagOfWordsFeaturizer:
+    """Maps questions to L2-normalised bag-of-words (uni+bi-gram) vectors."""
+
+    def __init__(self, vocabulary: Optional[Vocabulary] = None, use_bigrams: bool = True):
+        self.vocabulary = vocabulary or Vocabulary()
+        self.use_bigrams = use_bigrams
+
+    def tokens(self, text: str) -> List[str]:
+        unigrams = word_tokens(text)
+        if not self.use_bigrams:
+            return unigrams
+        bigrams = [f"{a}_{b}" for a, b in zip(unigrams, unigrams[1:])]
+        return unigrams + bigrams
+
+    def fit(self, texts: Iterable[str], min_count: int = 1, max_size: int = 20000) -> "BagOfWordsFeaturizer":
+        self.vocabulary = Vocabulary.from_corpus(
+            (self.tokens(text) for text in texts), min_count=min_count, max_size=max_size
+        )
+        return self
+
+    @property
+    def dimension(self) -> int:
+        return len(self.vocabulary)
+
+    def transform_one(self, text: str) -> np.ndarray:
+        vector = np.zeros(self.dimension, dtype=np.float64)
+        for token in self.tokens(text):
+            vector[self.vocabulary.index(token)] += 1.0
+        norm = np.linalg.norm(vector)
+        if norm > 0:
+            vector /= norm
+        return vector
+
+    def transform(self, texts: Sequence[str]) -> np.ndarray:
+        if not texts:
+            return np.zeros((0, self.dimension), dtype=np.float64)
+        return np.vstack([self.transform_one(text) for text in texts])

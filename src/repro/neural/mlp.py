@@ -1,0 +1,134 @@
+"""A NumPy multi-layer perceptron classifier trained with Adam."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyper-parameters of the classifier training loop."""
+
+    hidden_size: int = 64
+    epochs: int = 12
+    batch_size: int = 64
+    learning_rate: float = 0.01
+    weight_decay: float = 1e-5
+    seed: int = 3
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class _Adam:
+    """Adam optimiser state for a list of parameter arrays."""
+
+    def __init__(self, parameters, learning_rate: float):
+        self.parameters = parameters
+        self.learning_rate = learning_rate
+        self.m = [np.zeros_like(p) for p in parameters]
+        self.v = [np.zeros_like(p) for p in parameters]
+        self.t = 0
+        self.beta1 = 0.9
+        self.beta2 = 0.999
+        self.eps = 1e-8
+
+    def step(self, gradients) -> None:
+        self.t += 1
+        for index, (parameter, gradient) in enumerate(zip(self.parameters, gradients)):
+            self.m[index] = self.beta1 * self.m[index] + (1 - self.beta1) * gradient
+            self.v[index] = self.beta2 * self.v[index] + (1 - self.beta2) * gradient ** 2
+            m_hat = self.m[index] / (1 - self.beta1 ** self.t)
+            v_hat = self.v[index] / (1 - self.beta2 ** self.t)
+            parameter -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class MLPClassifier:
+    """One-hidden-layer ReLU MLP with softmax output and manual backprop."""
+
+    def __init__(self, input_dim: int, num_classes: int, config: TrainingConfig = TrainingConfig()):
+        self.input_dim = input_dim
+        self.num_classes = num_classes
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        scale1 = np.sqrt(2.0 / input_dim)
+        scale2 = np.sqrt(2.0 / config.hidden_size)
+        self.w1 = rng.normal(0.0, scale1, size=(input_dim, config.hidden_size))
+        self.b1 = np.zeros(config.hidden_size)
+        self.w2 = rng.normal(0.0, scale2, size=(config.hidden_size, num_classes))
+        self.b2 = np.zeros(num_classes)
+        self._optimizer = _Adam([self.w1, self.b1, self.w2, self.b2], config.learning_rate)
+        self.loss_history: list = []
+
+    # -- forward / backward ----------------------------------------------------
+
+    def _forward(self, inputs: np.ndarray):
+        hidden_pre = inputs @ self.w1 + self.b1
+        hidden = np.maximum(hidden_pre, 0.0)
+        logits = hidden @ self.w2 + self.b2
+        return hidden_pre, hidden, logits
+
+    def predict_proba(self, inputs: np.ndarray) -> np.ndarray:
+        if inputs.ndim == 1:
+            inputs = inputs[None, :]
+        _, _, logits = self._forward(inputs)
+        return _softmax(logits)
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        return self.predict_proba(inputs).argmax(axis=1)
+
+    def fit(self, inputs: np.ndarray, labels: Sequence[int],
+            sample_weight: Optional[np.ndarray] = None) -> "MLPClassifier":
+        """Train with mini-batch Adam on cross-entropy loss."""
+        labels = np.asarray(labels, dtype=np.int64)
+        count = inputs.shape[0]
+        if count == 0:
+            return self
+        if sample_weight is None:
+            sample_weight = np.ones(count)
+        rng = np.random.default_rng(self.config.seed)
+        for _ in range(self.config.epochs):
+            order = rng.permutation(count)
+            epoch_loss = 0.0
+            for start in range(0, count, self.config.batch_size):
+                batch = order[start : start + self.config.batch_size]
+                batch_inputs = inputs[batch]
+                batch_labels = labels[batch]
+                batch_weights = sample_weight[batch]
+                loss = self._train_batch(batch_inputs, batch_labels, batch_weights)
+                epoch_loss += loss * len(batch)
+            self.loss_history.append(epoch_loss / count)
+        return self
+
+    def _train_batch(self, inputs: np.ndarray, labels: np.ndarray, weights: np.ndarray) -> float:
+        batch_size = inputs.shape[0]
+        hidden_pre, hidden, logits = self._forward(inputs)
+        probabilities = _softmax(logits)
+        correct = probabilities[np.arange(batch_size), labels]
+        loss = float(np.mean(-np.log(np.clip(correct, 1e-12, None)) * weights))
+
+        grad_logits = probabilities.copy()
+        grad_logits[np.arange(batch_size), labels] -= 1.0
+        grad_logits *= (weights / batch_size)[:, None]
+
+        grad_w2 = hidden.T @ grad_logits + self.config.weight_decay * self.w2
+        grad_b2 = grad_logits.sum(axis=0)
+        grad_hidden = grad_logits @ self.w2.T
+        grad_hidden[hidden_pre <= 0] = 0.0
+        grad_w1 = inputs.T @ grad_hidden + self.config.weight_decay * self.w1
+        grad_b1 = grad_hidden.sum(axis=0)
+
+        self._optimizer.step([grad_w1, grad_b1, grad_w2, grad_b2])
+        return loss
+
+    def accuracy(self, inputs: np.ndarray, labels: Sequence[int]) -> float:
+        labels = np.asarray(labels)
+        if len(labels) == 0:
+            return 0.0
+        return float((self.predict(inputs) == labels).mean())

@@ -1,0 +1,105 @@
+"""A multi-head sketch classifier: one MLP head per sketch attribute."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.neural.features import BagOfWordsFeaturizer
+from repro.neural.mlp import MLPClassifier, TrainingConfig
+
+
+@dataclass
+class _Head:
+    labels: List[str]
+    classifier: Optional[MLPClassifier] = None
+    label_to_index: Dict[str, int] = field(default_factory=dict)
+
+
+class MultiHeadSketchClassifier:
+    """Predicts several categorical sketch attributes from one question encoding.
+
+    Each head (chart type, aggregate, order direction, ...) is an independent
+    softmax classifier over the shared bag-of-words features, matching how the
+    original seq2seq baselines decode sketch keywords from the encoded question.
+    """
+
+    def __init__(self, config: TrainingConfig = TrainingConfig(),
+                 featurizer: Optional[BagOfWordsFeaturizer] = None):
+        self.config = config
+        self.featurizer = featurizer or BagOfWordsFeaturizer()
+        self._heads: Dict[str, _Head] = {}
+        self._fitted = False
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def head_names(self) -> List[str]:
+        return list(self._heads)
+
+    def fit(self, questions: Sequence[str], targets: Sequence[Dict[str, str]]) -> "MultiHeadSketchClassifier":
+        """Train every head from per-question target dictionaries.
+
+        ``targets[i]`` maps head name to the gold label string of question ``i``.
+        """
+        if len(questions) != len(targets):
+            raise ValueError("questions and targets must have the same length")
+        self.featurizer.fit(questions)
+        features = self.featurizer.transform(questions)
+        head_names = sorted({name for target in targets for name in target})
+        for name in head_names:
+            labels = sorted({target[name] for target in targets if name in target})
+            head = _Head(labels=labels, label_to_index={label: i for i, label in enumerate(labels)})
+            if len(labels) < 2:
+                self._heads[name] = head
+                continue
+            rows: List[int] = []
+            encoded: List[int] = []
+            for index, target in enumerate(targets):
+                if name in target:
+                    rows.append(index)
+                    encoded.append(head.label_to_index[target[name]])
+            classifier = MLPClassifier(
+                input_dim=self.featurizer.dimension,
+                num_classes=len(labels),
+                config=self.config,
+            )
+            classifier.fit(features[rows], encoded)
+            head.classifier = classifier
+            self._heads[name] = head
+        self._fitted = True
+        return self
+
+    def predict(self, question: str) -> Dict[str, str]:
+        """Predict a label for every head."""
+        if not self._fitted:
+            raise RuntimeError("MultiHeadSketchClassifier.predict called before fit")
+        features = self.featurizer.transform_one(question)[None, :]
+        prediction: Dict[str, str] = {}
+        for name, head in self._heads.items():
+            if head.classifier is None:
+                prediction[name] = head.labels[0] if head.labels else ""
+                continue
+            index = int(head.classifier.predict(features)[0])
+            prediction[name] = head.labels[index]
+        return prediction
+
+    def accuracy(self, questions: Sequence[str], targets: Sequence[Dict[str, str]]) -> Dict[str, float]:
+        """Per-head accuracy on a labelled evaluation set."""
+        features = self.featurizer.transform(questions)
+        scores: Dict[str, float] = {}
+        for name, head in self._heads.items():
+            if head.classifier is None:
+                continue
+            rows: List[int] = []
+            encoded: List[int] = []
+            for index, target in enumerate(targets):
+                if name in target and target[name] in head.label_to_index:
+                    rows.append(index)
+                    encoded.append(head.label_to_index[target[name]])
+            if rows:
+                scores[name] = head.classifier.accuracy(features[rows], encoded)
+        return scores

@@ -1,0 +1,59 @@
+"""Token and label vocabularies."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+
+class Vocabulary:
+    """A bidirectional token <-> index mapping with an UNK entry at index 0."""
+
+    UNK = "<unk>"
+
+    def __init__(self, tokens: Optional[Iterable[str]] = None):
+        self._token_to_index: Dict[str, int] = {self.UNK: 0}
+        self._index_to_token: List[str] = [self.UNK]
+        if tokens:
+            for token in tokens:
+                self.add(token)
+
+    def __len__(self) -> int:
+        return len(self._index_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_index
+
+    def add(self, token: str) -> int:
+        if token not in self._token_to_index:
+            self._token_to_index[token] = len(self._index_to_token)
+            self._index_to_token.append(token)
+        return self._token_to_index[token]
+
+    def index(self, token: str) -> int:
+        return self._token_to_index.get(token, 0)
+
+    def token(self, index: int) -> str:
+        if 0 <= index < len(self._index_to_token):
+            return self._index_to_token[index]
+        return self.UNK
+
+    def tokens(self) -> List[str]:
+        return list(self._index_to_token)
+
+    @classmethod
+    def from_corpus(cls, documents: Iterable[Iterable[str]], min_count: int = 1,
+                    max_size: Optional[int] = None) -> "Vocabulary":
+        """Build a vocabulary from tokenised documents, most frequent first."""
+        counts: Dict[str, int] = {}
+        for document in documents:
+            for token in document:
+                counts[token] = counts.get(token, 0) + 1
+        ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        vocabulary = cls()
+        for token, count in ranked:
+            if count < min_count:
+                continue
+            if max_size is not None and len(vocabulary) >= max_size:
+                break
+            vocabulary.add(token)
+        return vocabulary

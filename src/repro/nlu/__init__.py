@@ -1,0 +1,18 @@
+"""Shared natural-language interpretation utilities.
+
+Both the baseline text-to-vis models and the simulated LLM need to read chart
+intents, aggregations, orderings, binning instructions and filter conditions
+out of a question.  They differ in *how they ground* phrases to schema columns
+(lexical vs semantic linking) and in what structural priors they use, which is
+exactly the axis the paper studies.
+"""
+
+from repro.nlu.question import QuestionSignals, QuestionInterpreter
+from repro.nlu.conditions import ExtractedCondition, ConditionExtractor
+
+__all__ = [
+    "ConditionExtractor",
+    "ExtractedCondition",
+    "QuestionInterpreter",
+    "QuestionSignals",
+]

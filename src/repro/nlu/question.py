@@ -1,0 +1,137 @@
+"""Keyword-level interpretation of text-to-vis questions."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dvq.nodes import AggregateFunction, BinUnit, ChartType, SortDirection
+
+#: Chart-type cue words.  The lists include both the explicit nvBench phrasings
+#: and the natural paraphrases nvBench-Rob introduces (histogram, trend curve,
+#: dot plot, ...), mirroring what a large language model knows about chart
+#: vocabulary.
+_CHART_CUES = {
+    ChartType.STACKED_BAR: ["stacked bar", "stacked column", "layered column"],
+    ChartType.GROUPING_LINE: ["grouping line", "multi-line", "multi line", "multi-series line"],
+    ChartType.GROUPING_SCATTER: [
+        "grouping scatter", "grouped scatter", "colour-coded dot", "color-coded dot",
+    ],
+    ChartType.PIE: ["pie", "circular chart", "donut", "proportion wheel", "circular split"],
+    ChartType.LINE: ["line chart", "line graph", "trend", "time-series", "curve", "over time"],
+    ChartType.SCATTER: ["scatter", "dot plot", "point cloud", "dot diagram"],
+    ChartType.BAR: ["bar chart", "bar graph", "histogram", "column graph", "column diagram", "bars"],
+}
+
+_AGGREGATE_CUES = {
+    AggregateFunction.AVG: ["average", "mean", "typical value"],
+    AggregateFunction.SUM: ["sum", "total of", "combined", "total"],
+    AggregateFunction.COUNT: ["number of", "how many", "count", "tally"],
+    AggregateFunction.MIN: ["minimum", "smallest", "lowest"],
+    AggregateFunction.MAX: ["maximum", "largest", "highest"],
+}
+
+_ASC_CUES = [
+    "asc", "ascending", "low to high", "smallest upwards", "upwards",
+    "smallest to largest", "increasing",
+]
+_DESC_CUES = [
+    "desc", "descending", "high to low", "largest downwards", "downwards",
+    "largest to smallest", "decreasing",
+]
+
+_BIN_CUES = {
+    BinUnit.YEAR: ["by year", "per year", "yearly", "each year", "by yr"],
+    BinUnit.MONTH: ["by month", "per month", "monthly"],
+    BinUnit.WEEKDAY: ["by weekday", "by day of the week", "per weekday"],
+    BinUnit.INTERVAL: ["into intervals", "into buckets", "into bins"],
+}
+
+_GROUP_CUES = ["group by", "grouped by", "broken down by", "aggregated for every",
+               "aggregated for each", "for each", "for every", "per "]
+
+_ORDER_CUES = ["sort", "order", "arrange", "organize", "rank", "list in", "starting with"]
+
+
+@dataclass
+class QuestionSignals:
+    """The chart-level signals read from one question."""
+
+    chart_type: Optional[ChartType]
+    aggregate: Optional[AggregateFunction]
+    has_order: bool
+    order_direction: Optional[SortDirection]
+    has_group: bool
+    bin_unit: Optional[BinUnit]
+    mentions_count_of_rows: bool
+
+
+class QuestionInterpreter:
+    """Reads :class:`QuestionSignals` from a question string."""
+
+    def interpret(self, question: str) -> QuestionSignals:
+        text = " ".join(question.lower().split())
+        return QuestionSignals(
+            chart_type=self.chart_type(text),
+            aggregate=self.aggregate(text),
+            has_order=self.has_order(text),
+            order_direction=self.order_direction(text),
+            has_group=self.has_group(text),
+            bin_unit=self.bin_unit(text),
+            mentions_count_of_rows=bool(re.search(r"how many|number of", text)),
+        )
+
+    def chart_type(self, text: str) -> Optional[ChartType]:
+        text = text.lower()
+        for chart_type, cues in _CHART_CUES.items():
+            if any(cue in text for cue in cues):
+                return chart_type
+        return None
+
+    def aggregate(self, text: str) -> Optional[AggregateFunction]:
+        text = text.lower()
+        best: Optional[AggregateFunction] = None
+        best_position = len(text) + 1
+        for function, cues in _AGGREGATE_CUES.items():
+            for cue in cues:
+                position = text.find(cue)
+                if position >= 0 and position < best_position:
+                    best = function
+                    best_position = position
+        return best
+
+    def has_order(self, text: str) -> bool:
+        text = text.lower()
+        if any(cue in text for cue in _ASC_CUES + _DESC_CUES):
+            return True
+        return any(cue in text for cue in _ORDER_CUES)
+
+    def order_direction(self, text: str) -> Optional[SortDirection]:
+        text = text.lower()
+        asc_position = min((text.find(cue) for cue in _ASC_CUES if cue in text), default=-1)
+        desc_position = min((text.find(cue) for cue in _DESC_CUES if cue in text), default=-1)
+        if asc_position < 0 and desc_position < 0:
+            return None
+        if desc_position < 0:
+            return SortDirection.ASC
+        if asc_position < 0:
+            return SortDirection.DESC
+        return SortDirection.ASC if asc_position < desc_position else SortDirection.DESC
+
+    def has_group(self, text: str) -> bool:
+        text = text.lower()
+        return any(cue in text for cue in _GROUP_CUES)
+
+    def bin_unit(self, text: str) -> Optional[BinUnit]:
+        text = text.lower()
+        if not any(cue in text for cue in ("bin", "bucket", "split", "binned")):
+            # temporal grouping phrases also imply binning when a date is involved
+            pass
+        for unit, cues in _BIN_CUES.items():
+            for cue in cues:
+                if f"bin {cue}" in text or f"bucket {cue}" in text or f"split {cue}" in text:
+                    return unit
+                if cue in text and any(word in text for word in ("bin", "bucket", "split")):
+                    return unit
+        return None

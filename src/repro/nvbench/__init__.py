@@ -1,0 +1,34 @@
+"""Synthesis of an nvBench-like text-to-vis corpus.
+
+nvBench (Luo et al., SIGMOD'21) pairs natural language questions with Data
+Visualization Queries over ~150 relational databases derived from Spider.  The
+real release is not available offline, so this package synthesises a corpus
+with the same essential properties:
+
+* ~100 databases drawn from realistic domain templates (HR, cinema, pets,
+  university, retail, ...), each with multiple tables, typed columns and
+  foreign keys;
+* (NLQ, DVQ) pairs across seven chart types and four hardness levels, with the
+  chart-type and hardness distribution of the paper's Figure 2;
+* NLQs that explicitly mention table/column names and DVQ keywords — the exact
+  property that makes the original benchmark easy for lexical-matching models
+  and that nvBench-Rob removes.
+"""
+
+from repro.nvbench.example import NVBenchExample, Split
+from repro.nvbench.dataset import NVBenchDataset
+from repro.nvbench.generator import CorpusConfig, NVBenchGenerator
+from repro.nvbench.hardness import Hardness, compute_hardness
+from repro.nvbench.stats import DatasetStatistics, compute_statistics
+
+__all__ = [
+    "CorpusConfig",
+    "DatasetStatistics",
+    "Hardness",
+    "NVBenchDataset",
+    "NVBenchExample",
+    "NVBenchGenerator",
+    "Split",
+    "compute_hardness",
+    "compute_statistics",
+]

@@ -1,0 +1,89 @@
+"""The (NLQ, DVQ) example record and dataset splits."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+
+class Split(enum.Enum):
+    """Dataset splits, following the 80 / 4.5 / 15.5 ratio used by ncNet."""
+
+    TRAIN = "train"
+    DEV = "dev"
+    TEST = "test"
+
+
+@dataclass(frozen=True)
+class NVBenchExample:
+    """One benchmark example.
+
+    Attributes:
+        example_id: stable unique identifier.
+        db_id: name of the database the query runs against.
+        nlq: the natural language question.
+        dvq: the gold Data Visualization Query text.
+        chart_type: chart family name (matches :class:`repro.dvq.ChartType` values).
+        hardness: one of ``Easy`` / ``Medium`` / ``Hard`` / ``Extra Hard``.
+        split: which split the example belongs to.
+        meta: free-form provenance information (template ids, perturbation log).
+    """
+
+    example_id: str
+    db_id: str
+    nlq: str
+    dvq: str
+    chart_type: str
+    hardness: str
+    split: Split = Split.TRAIN
+    meta: Dict[str, str] = field(default_factory=dict)
+
+    def with_split(self, split: Split) -> "NVBenchExample":
+        return replace(self, split=split)
+
+    def with_variant(
+        self,
+        nlq: Optional[str] = None,
+        dvq: Optional[str] = None,
+        db_id: Optional[str] = None,
+        meta_update: Optional[Dict[str, str]] = None,
+    ) -> "NVBenchExample":
+        """Return a perturbed copy (used by the nvBench-Rob builders)."""
+        meta = dict(self.meta)
+        if meta_update:
+            meta.update(meta_update)
+        return replace(
+            self,
+            nlq=nlq if nlq is not None else self.nlq,
+            dvq=dvq if dvq is not None else self.dvq,
+            db_id=db_id if db_id is not None else self.db_id,
+            meta=meta,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = {
+            "example_id": self.example_id,
+            "db_id": self.db_id,
+            "nlq": self.nlq,
+            "dvq": self.dvq,
+            "chart_type": self.chart_type,
+            "hardness": self.hardness,
+            "split": self.split.value,
+        }
+        if self.meta:
+            payload["meta"] = dict(self.meta)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "NVBenchExample":
+        return cls(
+            example_id=str(payload["example_id"]),
+            db_id=str(payload["db_id"]),
+            nlq=str(payload["nlq"]),
+            dvq=str(payload["dvq"]),
+            chart_type=str(payload["chart_type"]),
+            hardness=str(payload["hardness"]),
+            split=Split(payload.get("split", "train")),
+            meta=dict(payload.get("meta", {})),
+        )

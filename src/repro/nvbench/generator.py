@@ -1,0 +1,152 @@
+"""Top-level corpus generator: catalog + examples + splits."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.database.catalog import Catalog
+from repro.database.datagen import DataGenerator
+from repro.dvq.nodes import ChartType
+from repro.dvq.serializer import serialize_dvq
+from repro.nvbench.dataset import NVBenchDataset
+from repro.nvbench.domains import build_catalog_schemas
+from repro.nvbench.example import NVBenchExample, Split
+from repro.nvbench.hardness import Hardness, compute_hardness
+from repro.nvbench.nlq import NLQTemplater
+from repro.nvbench.sampler import DVQSampler, SamplingError
+from repro.nvbench.stats import PAPER_CHART_TYPE_COUNTS, PAPER_HARDNESS_COUNTS
+
+#: Split ratios used by ncNet and adopted by the paper (train / dev / test).
+SPLIT_RATIOS: Tuple[float, float, float] = (0.80, 0.045, 0.155)
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Configuration of the synthetic corpus.
+
+    The defaults reproduce the scale of the paper's development split (104
+    databases, a test set of ~1,182 pairs implied by a total of ~7,600 pairs).
+    ``scale`` shrinks every count proportionally for fast tests and benches.
+    """
+
+    database_count: int = 104
+    total_examples: int = 7626
+    rows_per_table: int = 30
+    seed: int = 7
+    scale: float = 1.0
+    chart_type_weights: Dict[str, int] = field(
+        default_factory=lambda: dict(PAPER_CHART_TYPE_COUNTS)
+    )
+    hardness_weights: Dict[str, int] = field(
+        default_factory=lambda: dict(PAPER_HARDNESS_COUNTS)
+    )
+
+    def scaled(self) -> "CorpusConfig":
+        """Apply ``scale`` to the corpus size parameters."""
+        if self.scale == 1.0:
+            return self
+        return CorpusConfig(
+            database_count=max(4, int(self.database_count * self.scale)),
+            total_examples=max(40, int(self.total_examples * self.scale)),
+            rows_per_table=self.rows_per_table,
+            seed=self.seed,
+            scale=1.0,
+            chart_type_weights=dict(self.chart_type_weights),
+            hardness_weights=dict(self.hardness_weights),
+        )
+
+
+class NVBenchGenerator:
+    """Builds the full synthetic corpus deterministically from a seed."""
+
+    def __init__(self, config: CorpusConfig = CorpusConfig()):
+        self.config = config.scaled()
+        self.rng = random.Random(self.config.seed)
+
+    # -- catalog ------------------------------------------------------------
+
+    def build_catalog(self) -> Catalog:
+        """Instantiate and populate the database catalog."""
+        schemas = build_catalog_schemas(self.config.database_count)
+        generator = DataGenerator(seed=self.config.seed, rows_per_table=self.config.rows_per_table)
+        return Catalog(generator.populate(schema) for schema in schemas)
+
+    # -- examples -----------------------------------------------------------
+
+    def _weighted_choice(self, weights: Dict[str, int]) -> str:
+        names = list(weights)
+        totals = [weights[name] for name in names]
+        return self.rng.choices(names, weights=totals, k=1)[0]
+
+    def build_examples(self, catalog: Catalog) -> List[NVBenchExample]:
+        """Sample (NLQ, DVQ) pairs across the catalog."""
+        templater = NLQTemplater(self.rng)
+        databases = list(catalog)
+        examples: List[NVBenchExample] = []
+        seen_dvqs = set()
+        attempts = 0
+        max_attempts = self.config.total_examples * 20
+        while len(examples) < self.config.total_examples and attempts < max_attempts:
+            attempts += 1
+            database = self.rng.choice(databases)
+            chart_name = self._weighted_choice(self.config.chart_type_weights)
+            hardness_name = self._weighted_choice(self.config.hardness_weights)
+            sampler = DVQSampler(database.schema, self.rng)
+            try:
+                query = sampler.sample(ChartType.from_text(chart_name), Hardness(hardness_name))
+            except SamplingError:
+                continue
+            dvq_text = serialize_dvq(query)
+            dedup_key = (database.name, dvq_text)
+            if dedup_key in seen_dvqs and self.rng.random() < 0.7:
+                continue
+            seen_dvqs.add(dedup_key)
+            nlq = templater.render(query)
+            hardness = compute_hardness(query)
+            examples.append(
+                NVBenchExample(
+                    example_id=f"ex_{len(examples):05d}",
+                    db_id=database.name,
+                    nlq=nlq,
+                    dvq=dvq_text,
+                    chart_type=query.chart_type.value,
+                    hardness=hardness.value,
+                    meta={"requested_hardness": hardness_name},
+                )
+            )
+        return examples
+
+    def assign_splits(self, examples: Sequence[NVBenchExample]) -> List[NVBenchExample]:
+        """Randomly assign the 80 / 4.5 / 15.5 train/dev/test split.
+
+        The paper uses a *no-cross-domain* split: train and test share
+        databases, so assignment is per-example rather than per-database.
+        """
+        shuffled = list(examples)
+        self.rng.shuffle(shuffled)
+        total = len(shuffled)
+        train_end = int(total * SPLIT_RATIOS[0])
+        dev_end = train_end + int(total * SPLIT_RATIOS[1])
+        assigned: List[NVBenchExample] = []
+        for index, example in enumerate(shuffled):
+            if index < train_end:
+                split = Split.TRAIN
+            elif index < dev_end:
+                split = Split.DEV
+            else:
+                split = Split.TEST
+            assigned.append(example.with_split(split))
+        return assigned
+
+    def generate(self, catalog: Optional[Catalog] = None) -> NVBenchDataset:
+        """Build the complete dataset (catalog + split examples)."""
+        catalog = catalog or self.build_catalog()
+        examples = self.assign_splits(self.build_examples(catalog))
+        return NVBenchDataset(examples, catalog=catalog, name="nvBench-synthetic")
+
+
+def build_corpus(scale: float = 1.0, seed: int = 7) -> NVBenchDataset:
+    """Convenience helper used by examples and benchmarks."""
+    return NVBenchGenerator(CorpusConfig(scale=scale, seed=seed)).generate()

@@ -1,0 +1,49 @@
+"""Hardness levels for DVQs, following nvBench's Easy/Medium/Hard/Extra Hard."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.dvq.nodes import DVQuery
+
+
+class Hardness(enum.Enum):
+    """The four difficulty levels reported in Figure 2."""
+
+    EASY = "Easy"
+    MEDIUM = "Medium"
+    HARD = "Hard"
+    EXTRA_HARD = "Extra Hard"
+
+
+def compute_hardness(query: DVQuery) -> Hardness:
+    """Score a DVQ's structural complexity and map it onto a hardness level.
+
+    The scoring mirrors nvBench's SQL-derived hardness heuristic: each clause
+    family (aggregation, filtering, grouping, ordering, binning, joins) adds
+    complexity, and multi-condition filters or joins push queries into the
+    higher bands.
+    """
+    score = 0
+    if any(item.is_aggregate for item in query.select):
+        score += 1
+    if query.where is not None:
+        score += len(query.where.conditions)
+        score += sum(1 for connector in query.where.connectors if connector.upper() == "OR")
+    if query.group_by:
+        score += 1
+    if query.order_by is not None:
+        score += 1
+    if query.bin is not None:
+        score += 1
+    if query.joins:
+        score += 2 * len(query.joins)
+    if query.chart_type.is_grouped:
+        score += 1
+    if score <= 1:
+        return Hardness.EASY
+    if score <= 3:
+        return Hardness.MEDIUM
+    if score <= 5:
+        return Hardness.HARD
+    return Hardness.EXTRA_HARD

@@ -1,0 +1,160 @@
+"""NLQ templating: render a gold DVQ as an explicit natural language question.
+
+nvBench questions characteristically *name* the schema elements and DVQ
+keywords they need ("return a bar chart about the distribution of job_id and
+the average of manager_id, and group by attribute job_id, and list in asc by
+the X").  The templater reproduces that style so models trained on the corpus
+can (and do) rely on lexical matching — the property nvBench-Rob later removes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.dvq.nodes import (
+    AggregateExpr,
+    AggregateFunction,
+    BinUnit,
+    ChartType,
+    Condition,
+    DVQuery,
+    SortDirection,
+)
+
+_CHART_PHRASES = {
+    ChartType.BAR: ["a bar chart", "a bar graph", "a bar chart"],
+    ChartType.PIE: ["a pie chart", "a pie"],
+    ChartType.LINE: ["a line chart", "a line graph", "the trend line"],
+    ChartType.SCATTER: ["a scatter chart", "a scatter plot"],
+    ChartType.STACKED_BAR: ["a stacked bar chart", "a stacked bar"],
+    ChartType.GROUPING_LINE: ["a grouping line chart", "a multi-series line chart"],
+    ChartType.GROUPING_SCATTER: ["a grouping scatter chart", "a grouped scatter plot"],
+}
+
+_AGGREGATE_PHRASES = {
+    AggregateFunction.COUNT: "the number of {col}",
+    AggregateFunction.SUM: "the sum of {col}",
+    AggregateFunction.AVG: "the average of {col}",
+    AggregateFunction.MIN: "the minimum {col}",
+    AggregateFunction.MAX: "the maximum {col}",
+}
+
+_OPERATOR_PHRASES = {
+    "=": "{col} equals {val}",
+    "!=": "{col} does not equal {val}",
+    ">": "{col} is greater than {val}",
+    ">=": "{col} is at least {val}",
+    "<": "{col} is less than {val}",
+    "<=": "{col} is at most {val}",
+    "LIKE": "{col} is like {val}",
+    "BETWEEN": "{col} is between {val} and {val2}",
+    "IS NULL": "{col} is null",
+}
+
+_BIN_PHRASES = {
+    BinUnit.YEAR: "bin {col} by year",
+    BinUnit.MONTH: "bin {col} by month",
+    BinUnit.WEEKDAY: "bin {col} by weekday",
+    BinUnit.INTERVAL: "bin {col} into intervals",
+}
+
+
+def _channel_phrase(item) -> str:
+    if isinstance(item.expr, AggregateExpr):
+        template = _AGGREGATE_PHRASES[item.expr.function]
+        return template.format(col=item.expr.argument.column)
+    return item.expr.column
+
+
+def _condition_phrase(condition: Condition) -> str:
+    operator = condition.operator.upper()
+    template = _OPERATOR_PHRASES.get(operator, "{col} " + operator + " {val}")
+    value = condition.value
+    if isinstance(value, tuple):
+        value = ", ".join(str(item) for item in value)
+    phrase = template.format(col=condition.column.column, val=value, val2=condition.value2)
+    if condition.negated and operator == "IS NULL":
+        phrase = f"{condition.column.column} is not null"
+    elif condition.negated:
+        phrase = f"not ({phrase})"
+    return phrase
+
+
+def _where_phrase(query: DVQuery) -> str:
+    if query.where is None or not query.where.conditions:
+        return ""
+    pieces: List[str] = []
+    for index, condition in enumerate(query.where.conditions):
+        if index > 0:
+            pieces.append(query.where.connectors[index - 1].lower())
+        pieces.append(_condition_phrase(condition))
+    return " for those records whose " + " ".join(pieces)
+
+
+def _order_phrase(query: DVQuery, rng: random.Random) -> str:
+    if query.order_by is None:
+        return ""
+    direction = query.order_by.direction
+    if isinstance(query.order_by.expr, AggregateExpr):
+        target = f"the {query.order_by.expr.function.value.lower()} of {query.order_by.expr.argument.column}"
+    else:
+        target = query.order_by.expr.column
+    if direction is SortDirection.ASC:
+        word = rng.choice(["in asc order", "in ascending order", "from low to high"])
+    else:
+        word = rng.choice(["in desc order", "in descending order", "from high to low"])
+    return f", and sort by {target} {word}"
+
+
+def _group_phrase(query: DVQuery) -> str:
+    if not query.group_by:
+        return ""
+    columns = " and ".join(column.column for column in query.group_by)
+    return f", and group by attribute {columns}"
+
+
+def _bin_phrase(query: DVQuery) -> str:
+    if query.bin is None:
+        return ""
+    return ", and " + _BIN_PHRASES[query.bin.unit].format(col=query.bin.column.column)
+
+
+class NLQTemplater:
+    """Renders DVQs into explicit-mention natural language questions."""
+
+    def __init__(self, rng: Optional[random.Random] = None):
+        self.rng = rng or random.Random(0)
+
+    def render(self, query: DVQuery) -> str:
+        """Render ``query`` as an nvBench-style question."""
+        chart_phrase = self.rng.choice(_CHART_PHRASES[query.chart_type])
+        x_phrase = _channel_phrase(query.x)
+        y_phrase = _channel_phrase(query.y)
+        where_phrase = _where_phrase(query)
+        group_phrase = _group_phrase(query)
+        order_phrase = _order_phrase(query, self.rng)
+        bin_phrase = _bin_phrase(query)
+        table_phrase = f" from table {query.table}"
+        skeleton = self.rng.choice(
+            [
+                "Show {y} for each {x} in {chart}{table}{where}{group}{order}{bin}.",
+                "Return {chart} about the distribution of {x} and {y}{table}{where}{group}{order}{bin}.",
+                "Draw {chart} showing {y} over {x}{table}{where}{group}{order}{bin}.",
+                "Visualize {y} by {x} using {chart}{table}{where}{group}{order}{bin}.",
+                "What is {y} for each {x}? Plot {chart}{table}{where}{group}{order}{bin}.",
+            ]
+        )
+        question = skeleton.format(
+            chart=chart_phrase,
+            x=x_phrase,
+            y=y_phrase,
+            table=table_phrase,
+            where=where_phrase,
+            group=group_phrase,
+            order=order_phrase,
+            bin=bin_phrase,
+        )
+        if query.color is not None:
+            question = question[:-1] + f", colored by {query.color.column.column}."
+        return question

@@ -1,0 +1,345 @@
+"""Sampling of gold DVQs over a database schema.
+
+The sampler draws structurally valid DVQs for a requested chart type and
+hardness band.  It only uses columns whose types fit the chart semantics
+(nominal x for bars/pies, temporal x for lines, quantitative x/y for scatter)
+so the resulting charts are meaningful and executable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.database.schema import Column, ColumnType, DatabaseSchema, ForeignKey, TableSchema
+from repro.dvq.nodes import (
+    AggregateExpr,
+    AggregateFunction,
+    BinClause,
+    BinUnit,
+    ChartType,
+    ColumnRef,
+    Condition,
+    DVQuery,
+    JoinClause,
+    OrderClause,
+    SelectItem,
+    SortDirection,
+    WhereClause,
+)
+from repro.nvbench.hardness import Hardness
+
+
+class SamplingError(Exception):
+    """Raised when a schema cannot support the requested chart type."""
+
+
+_TEXT_FILTER_VALUES = {
+    "status": ["Open", "Closed", "Pending"],
+    "category": ["Gold", "Silver", "Standard"],
+    "city": ["Seattle", "London", "Tokyo"],
+    "country": ["Canada", "Germany", "Japan"],
+    "department": ["Finance", "Sales", "IT"],
+    "theme": ["History", "Science", "Art"],
+}
+
+
+class DVQSampler:
+    """Draws DVQs from a schema with a seeded random generator."""
+
+    def __init__(self, schema: DatabaseSchema, rng: random.Random):
+        self.schema = schema
+        self.rng = rng
+
+    # -- column selection helpers -----------------------------------------
+
+    def _columns_of(self, table: TableSchema, predicate) -> List[Column]:
+        return [column for column in table.columns if predicate(column)]
+
+    def _nominal_columns(self, table: TableSchema) -> List[Column]:
+        return self._columns_of(
+            table, lambda c: c.ctype is ColumnType.TEXT and not c.is_primary
+        )
+
+    def _numeric_columns(self, table: TableSchema) -> List[Column]:
+        return self._columns_of(
+            table,
+            lambda c: c.ctype is ColumnType.NUMBER and not c.is_primary,
+        )
+
+    def _temporal_columns(self, table: TableSchema) -> List[Column]:
+        temporal = self._columns_of(table, lambda c: c.ctype is ColumnType.DATE)
+        years = self._columns_of(
+            table, lambda c: c.ctype is ColumnType.NUMBER and "year" in c.semantic
+        )
+        return temporal + years
+
+    def _pick(self, candidates: Sequence[Column]) -> Column:
+        if not candidates:
+            raise SamplingError("No suitable column available")
+        return self.rng.choice(list(candidates))
+
+    def _pick_table(self, needs_nominal: bool = False, needs_numeric: bool = False,
+                    needs_temporal: bool = False, needs_two_nominal: bool = False) -> TableSchema:
+        candidates = []
+        for table in self.schema.tables:
+            if needs_nominal and not self._nominal_columns(table):
+                continue
+            if needs_two_nominal and len(self._nominal_columns(table)) < 2:
+                continue
+            if needs_numeric and not self._numeric_columns(table):
+                continue
+            if needs_temporal and not self._temporal_columns(table):
+                continue
+            candidates.append(table)
+        if not candidates:
+            raise SamplingError(
+                f"Schema {self.schema.name!r} has no table matching the chart requirements"
+            )
+        return self.rng.choice(candidates)
+
+    # -- clause builders ----------------------------------------------------
+
+    def _where_clause(self, table: TableSchema, condition_count: int) -> Optional[WhereClause]:
+        if condition_count <= 0:
+            return None
+        candidates = [
+            column
+            for column in table.columns
+            if not column.is_primary and (column.ctype in (ColumnType.NUMBER, ColumnType.TEXT))
+        ]
+        if not candidates:
+            return None
+        conditions: List[Condition] = []
+        used: List[str] = []
+        for _ in range(condition_count):
+            remaining = [column for column in candidates if column.name not in used]
+            if not remaining:
+                break
+            column = self.rng.choice(remaining)
+            used.append(column.name)
+            conditions.append(self._condition_for(column))
+        if not conditions:
+            return None
+        connectors = tuple(
+            self.rng.choice(["AND", "AND", "OR"]) for _ in range(len(conditions) - 1)
+        )
+        return WhereClause(conditions=tuple(conditions), connectors=connectors)
+
+    def _condition_for(self, column: Column) -> Condition:
+        reference = ColumnRef(column=column.name)
+        if column.ctype is ColumnType.NUMBER:
+            choice = self.rng.random()
+            low = self.rng.randint(1, 40) * 10
+            if choice < 0.35:
+                return Condition(column=reference, operator=">", value=low)
+            if choice < 0.6:
+                return Condition(column=reference, operator="<", value=low + 400)
+            if choice < 0.85:
+                return Condition(
+                    column=reference, operator="BETWEEN", value=low, value2=low + 500
+                )
+            return Condition(column=reference, operator="!=", value=low)
+        values = _TEXT_FILTER_VALUES.get(column.semantic, ["Alpha", "Beta", "Gamma"])
+        value = self.rng.choice(values)
+        if self.rng.random() < 0.2:
+            return Condition(column=reference, operator="LIKE", value=f"%{value[:3]}%")
+        return Condition(column=reference, operator="=", value=value)
+
+    def _order_clause(self, x_item: SelectItem, y_item: SelectItem) -> OrderClause:
+        target = self.rng.choice([x_item, y_item])
+        direction = self.rng.choice([SortDirection.ASC, SortDirection.DESC])
+        return OrderClause(expr=target.expr, direction=direction)
+
+    def _join_for(self, table: TableSchema) -> Optional[JoinClause]:
+        options: List[ForeignKey] = [
+            foreign_key
+            for foreign_key in self.schema.joinable_pairs()
+            if foreign_key.table == table.name or foreign_key.ref_table == table.name
+        ]
+        if not options:
+            return None
+        foreign_key = self.rng.choice(options)
+        if foreign_key.table == table.name:
+            other = foreign_key.ref_table
+            left = ColumnRef(column=foreign_key.column, table=table.name)
+            right = ColumnRef(column=foreign_key.ref_column, table=other)
+        else:
+            other = foreign_key.table
+            left = ColumnRef(column=foreign_key.ref_column, table=table.name)
+            right = ColumnRef(column=foreign_key.column, table=other)
+        return JoinClause(table=other, left=left, right=right)
+
+    # -- chart-type specific sampling ----------------------------------------
+
+    def sample(self, chart_type: ChartType, hardness: Hardness) -> DVQuery:
+        """Sample one DVQ of ``chart_type`` aiming at ``hardness``."""
+        if chart_type is ChartType.PIE:
+            return self._sample_pie(hardness)
+        if chart_type in (ChartType.LINE, ChartType.GROUPING_LINE):
+            return self._sample_line(chart_type, hardness)
+        if chart_type in (ChartType.SCATTER, ChartType.GROUPING_SCATTER):
+            return self._sample_scatter(chart_type, hardness)
+        return self._sample_bar(chart_type, hardness)
+
+    def _hardness_extras(self, hardness: Hardness) -> Tuple[int, bool, bool]:
+        """Map hardness to (#where conditions, use order-by, use join)."""
+        # Joins are sampled only when explicitly enabled: nvBench questions do
+        # not verbalise join paths, so joined gold queries would be unlearnable
+        # from the question alone.
+        if hardness is Hardness.EASY:
+            return 0, False, False
+        if hardness is Hardness.MEDIUM:
+            return self.rng.choice([0, 1]), self.rng.random() < 0.6, False
+        if hardness is Hardness.HARD:
+            return self.rng.choice([1, 2]), True, False
+        return self.rng.choice([2, 3]), True, False
+
+    def _sample_bar(self, chart_type: ChartType, hardness: Hardness) -> DVQuery:
+        grouped = chart_type is ChartType.STACKED_BAR
+        table = self._pick_table(needs_nominal=True, needs_numeric=True,
+                                 needs_two_nominal=grouped)
+        x_column = self._pick(self._nominal_columns(table))
+        numeric = self._numeric_columns(table)
+        where_count, use_order, use_join = self._hardness_extras(hardness)
+        if self.rng.random() < 0.4 or not numeric:
+            y_expr: SelectItem = SelectItem(
+                AggregateExpr(
+                    function=AggregateFunction.COUNT,
+                    argument=ColumnRef(column=x_column.name),
+                )
+            )
+        else:
+            function = self.rng.choice(
+                [AggregateFunction.AVG, AggregateFunction.SUM,
+                 AggregateFunction.MAX, AggregateFunction.MIN]
+            )
+            y_expr = SelectItem(
+                AggregateExpr(function=function, argument=ColumnRef(column=self._pick(numeric).name))
+            )
+        x_item = SelectItem(ColumnRef(column=x_column.name))
+        group_columns: List[ColumnRef] = [ColumnRef(column=x_column.name)]
+        select: List[SelectItem] = [x_item, y_expr]
+        if grouped:
+            color_candidates = [
+                column for column in self._nominal_columns(table) if column.name != x_column.name
+            ]
+            color_column = self._pick(color_candidates)
+            select.append(SelectItem(ColumnRef(column=color_column.name)))
+            group_columns.append(ColumnRef(column=color_column.name))
+        join = self._join_for(table) if use_join else None
+        where = self._where_clause(table, where_count)
+        order = self._order_clause(x_item, y_expr) if use_order else None
+        return DVQuery(
+            chart_type=chart_type,
+            select=tuple(select),
+            table=table.name,
+            joins=(join,) if join else (),
+            where=where,
+            group_by=tuple(group_columns),
+            order_by=order,
+        )
+
+    def _sample_pie(self, hardness: Hardness) -> DVQuery:
+        table = self._pick_table(needs_nominal=True)
+        x_column = self._pick(self._nominal_columns(table))
+        where_count, _, use_join = self._hardness_extras(hardness)
+        select = (
+            SelectItem(ColumnRef(column=x_column.name)),
+            SelectItem(
+                AggregateExpr(
+                    function=AggregateFunction.COUNT,
+                    argument=ColumnRef(column=x_column.name),
+                )
+            ),
+        )
+        join = self._join_for(table) if use_join else None
+        return DVQuery(
+            chart_type=ChartType.PIE,
+            select=select,
+            table=table.name,
+            joins=(join,) if join else (),
+            where=self._where_clause(table, where_count),
+            group_by=(ColumnRef(column=x_column.name),),
+        )
+
+    def _sample_line(self, chart_type: ChartType, hardness: Hardness) -> DVQuery:
+        table = self._pick_table(needs_temporal=True, needs_numeric=True)
+        x_column = self._pick(self._temporal_columns(table))
+        numeric = [
+            column for column in self._numeric_columns(table) if column.name != x_column.name
+        ]
+        where_count, use_order, _ = self._hardness_extras(hardness)
+        if numeric:
+            function = self.rng.choice([AggregateFunction.AVG, AggregateFunction.SUM])
+            y_item = SelectItem(
+                AggregateExpr(function=function, argument=ColumnRef(column=self._pick(numeric).name))
+            )
+        else:
+            y_item = SelectItem(
+                AggregateExpr(
+                    function=AggregateFunction.COUNT, argument=ColumnRef(column=x_column.name)
+                )
+            )
+        x_item = SelectItem(ColumnRef(column=x_column.name))
+        select: List[SelectItem] = [x_item, y_item]
+        group_columns: List[ColumnRef] = []
+        if chart_type is ChartType.GROUPING_LINE:
+            nominal = self._nominal_columns(table)
+            if not nominal:
+                chart_type = ChartType.LINE
+            else:
+                color_column = self._pick(nominal)
+                select.append(SelectItem(ColumnRef(column=color_column.name)))
+                group_columns.append(ColumnRef(column=color_column.name))
+        bin_clause = None
+        if x_column.ctype is ColumnType.DATE:
+            unit = self.rng.choice([BinUnit.YEAR, BinUnit.YEAR, BinUnit.MONTH, BinUnit.WEEKDAY])
+            bin_clause = BinClause(column=ColumnRef(column=x_column.name), unit=unit)
+        else:
+            group_columns.insert(0, ColumnRef(column=x_column.name))
+        order = OrderClause(expr=x_item.expr, direction=SortDirection.ASC) if use_order else None
+        return DVQuery(
+            chart_type=chart_type,
+            select=tuple(select),
+            table=table.name,
+            where=self._where_clause(table, where_count),
+            group_by=tuple(group_columns),
+            order_by=order,
+            bin=bin_clause,
+        )
+
+    def _sample_scatter(self, chart_type: ChartType, hardness: Hardness) -> DVQuery:
+        table = self._pick_table(needs_numeric=True)
+        numeric = self._numeric_columns(table)
+        if len(numeric) < 2:
+            raise SamplingError(f"Table {table.name!r} lacks two numeric columns for a scatter")
+        x_column, y_column = self.rng.sample(numeric, 2)
+        where_count, use_order, _ = self._hardness_extras(hardness)
+        select: List[SelectItem] = [
+            SelectItem(ColumnRef(column=x_column.name)),
+            SelectItem(ColumnRef(column=y_column.name)),
+        ]
+        group_columns: List[ColumnRef] = []
+        if chart_type is ChartType.GROUPING_SCATTER:
+            nominal = self._nominal_columns(table)
+            if nominal:
+                color_column = self._pick(nominal)
+                select.append(SelectItem(ColumnRef(column=color_column.name)))
+                group_columns.append(ColumnRef(column=color_column.name))
+            else:
+                chart_type = ChartType.SCATTER
+        order = None
+        if use_order:
+            order = OrderClause(
+                expr=ColumnRef(column=x_column.name),
+                direction=self.rng.choice([SortDirection.ASC, SortDirection.DESC]),
+            )
+        return DVQuery(
+            chart_type=chart_type,
+            select=tuple(select),
+            table=table.name,
+            where=self._where_clause(table, where_count),
+            group_by=tuple(group_columns),
+            order_by=order,
+        )

@@ -1,0 +1,75 @@
+"""Dataset statistics matching the paper's Figure 2."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.database.catalog import Catalog
+from repro.nvbench.example import NVBenchExample
+
+#: Chart-type counts for the nvBench-Rob development set reported in Figure 2.
+PAPER_CHART_TYPE_COUNTS: Dict[str, int] = {
+    "BAR": 891,
+    "PIE": 88,
+    "LINE": 51,
+    "SCATTER": 48,
+    "STACKED BAR": 60,
+    "GROUPING LINE": 11,
+    "GROUPING SCATTER": 33,
+}
+
+#: Hardness counts reported in Figure 2.
+PAPER_HARDNESS_COUNTS: Dict[str, int] = {
+    "Easy": 286,
+    "Medium": 475,
+    "Hard": 282,
+    "Extra Hard": 139,
+}
+
+#: Catalog-level counts reported in Figure 2.
+PAPER_CATALOG_COUNTS: Dict[str, float] = {
+    "databases": 104,
+    "tables": 552,
+    "columns": 3050,
+    "avg_tables_per_db": 5.31,
+    "avg_columns_per_table": 5.53,
+}
+
+
+@dataclass
+class DatasetStatistics:
+    """Computed statistics for a set of examples plus its catalog."""
+
+    total_examples: int
+    chart_type_counts: Dict[str, int]
+    hardness_counts: Dict[str, int]
+    catalog_counts: Dict[str, float]
+
+    def as_rows(self):
+        """Flatten into (section, key, value) rows for table printing."""
+        rows = [("total", "examples", self.total_examples)]
+        rows.extend(("chart_type", key, value) for key, value in sorted(self.chart_type_counts.items()))
+        rows.extend(("hardness", key, value) for key, value in self.hardness_counts.items())
+        rows.extend(("catalog", key, round(value, 2)) for key, value in self.catalog_counts.items())
+        return rows
+
+
+def compute_statistics(
+    examples: Iterable[NVBenchExample], catalog: Optional[Catalog] = None
+) -> DatasetStatistics:
+    """Compute Figure-2 style statistics for ``examples``."""
+    chart_counts: Dict[str, int] = {}
+    hardness_counts: Dict[str, int] = {}
+    total = 0
+    for example in examples:
+        total += 1
+        chart_counts[example.chart_type] = chart_counts.get(example.chart_type, 0) + 1
+        hardness_counts[example.hardness] = hardness_counts.get(example.hardness, 0) + 1
+    catalog_counts = catalog.statistics() if catalog is not None else {}
+    return DatasetStatistics(
+        total_examples=total,
+        chart_type_counts=chart_counts,
+        hardness_counts=hardness_counts,
+        catalog_counts=catalog_counts,
+    )

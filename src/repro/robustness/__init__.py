@@ -1,0 +1,32 @@
+"""Construction of the nvBench-Rob robustness benchmark.
+
+The paper perturbs the nvBench development split along two axes and releases
+three test sets:
+
+* ``nvBench-Rob_nlq`` — questions are paraphrased so they no longer explicitly
+  mention column names or DVQ keywords;
+* ``nvBench-Rob_schema`` — table/column names are replaced with synonyms and
+  different naming conventions (gold DVQs follow the new names);
+* ``nvBench-Rob_(nlq,schema)`` — both perturbations at once.
+
+The paper builds the dataset with ChatGPT plus manual correction; offline we
+substitute a curated synonym lexicon, deterministic naming-convention
+rewriters and paraphrase templates (see DESIGN.md for the substitution
+rationale).
+"""
+
+from repro.robustness.synonyms import SynonymLexicon, default_lexicon
+from repro.robustness.nlq_rewriter import NLQRewriter
+from repro.robustness.schema_renamer import SchemaRenamer, SchemaRenamePlan
+from repro.robustness.variants import RobustnessSuite, RobustnessSuiteBuilder, VariantKind
+
+__all__ = [
+    "NLQRewriter",
+    "RobustnessSuite",
+    "RobustnessSuiteBuilder",
+    "SchemaRenamePlan",
+    "SchemaRenamer",
+    "SynonymLexicon",
+    "VariantKind",
+    "default_lexicon",
+]

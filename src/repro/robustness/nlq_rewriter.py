@@ -1,0 +1,125 @@
+"""NLQ reconstruction: lexical and phrasal paraphrasing of questions.
+
+Reproduces Section 2.2 of the paper ("NLQ Reconstruction"): nouns that echo
+schema identifiers are replaced with synonyms, DVQ keywords are removed or
+re-phrased, and whole sentences are restructured to simulate users who do not
+know the database schema or the DVQ syntax.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.embeddings.tokenization import split_identifier
+from repro.robustness.synonyms import SynonymLexicon, default_lexicon
+
+_IDENTIFIER_PATTERN = re.compile(r"[A-Za-z][A-Za-z0-9_]*")
+
+
+@dataclass
+class RewriteResult:
+    """The rewritten NLQ plus a log of the edits that were applied."""
+
+    original: str
+    rewritten: str
+    replaced_words: List[str]
+    replaced_phrases: List[str]
+    scaffold: Optional[str]
+
+
+class NLQRewriter:
+    """Applies lexical and phrasal perturbations to questions."""
+
+    def __init__(
+        self,
+        lexicon: Optional[SynonymLexicon] = None,
+        seed: int = 29,
+        word_probability: float = 0.55,
+        phrase_probability: float = 0.6,
+        scaffold_probability: float = 0.5,
+    ):
+        self.lexicon = lexicon or default_lexicon()
+        self.seed = seed
+        self.word_probability = word_probability
+        self.phrase_probability = phrase_probability
+        self.scaffold_probability = scaffold_probability
+
+    def rewrite(self, nlq: str, key: str = "") -> RewriteResult:
+        """Rewrite one question; ``key`` seeds the per-example randomness."""
+        rng = random.Random(f"{self.seed}:{key}:{nlq}")
+        text, replaced_phrases = self._rewrite_phrases(nlq, rng)
+        text, replaced_words = self._rewrite_words(text, rng)
+        text, scaffold = self._restructure(text, rng)
+        return RewriteResult(
+            original=nlq,
+            rewritten=text,
+            replaced_words=replaced_words,
+            replaced_phrases=replaced_phrases,
+            scaffold=scaffold,
+        )
+
+    # -- phrase level --------------------------------------------------------
+
+    def _rewrite_phrases(self, text: str, rng: random.Random):
+        replaced: List[str] = []
+        lowered_phrases = sorted(
+            self.lexicon.phrase_paraphrases, key=len, reverse=True
+        )
+        for phrase in lowered_phrases:
+            pattern = re.compile(r"\b" + re.escape(phrase) + r"\b", re.IGNORECASE)
+            if pattern.search(text) and rng.random() < self.phrase_probability:
+                replacement = rng.choice(self.lexicon.phrase_paraphrases[phrase])
+                text = pattern.sub(replacement, text, count=1)
+                replaced.append(phrase)
+        return text, replaced
+
+    # -- word level ------------------------------------------------------------
+
+    def _rewrite_words(self, text: str, rng: random.Random):
+        replaced: List[str] = []
+
+        def substitute(match: re.Match) -> str:
+            token = match.group(0)
+            parts = split_identifier(token)
+            if len(parts) > 1 or "_" in token:
+                # a schema identifier copied verbatim into the question:
+                # turn it into a natural phrase of synonyms ("HIRE_DATE" ->
+                # "day of recruitment")
+                if rng.random() >= self.word_probability:
+                    return token
+                new_parts = []
+                for part in parts:
+                    synonym = self.lexicon.pick_synonym(part.lower(), rng)
+                    new_parts.append(synonym.replace("_", " ") if synonym else part.lower())
+                replaced.append(token)
+                if len(new_parts) >= 2 and rng.random() < 0.5:
+                    return f"{new_parts[-1]} of {' '.join(new_parts[:-1])}"
+                return " ".join(new_parts)
+            lower = token.lower()
+            if lower in self.lexicon.word_synonyms and rng.random() < self.word_probability:
+                synonym = self.lexicon.pick_synonym(lower, rng)
+                if synonym:
+                    replaced.append(token)
+                    return synonym.replace("_", " ")
+            return token
+
+        text = _IDENTIFIER_PATTERN.sub(substitute, text)
+        return text, replaced
+
+    # -- sentence level ----------------------------------------------------------
+
+    def _restructure(self, text: str, rng: random.Random):
+        if rng.random() >= self.scaffold_probability:
+            return text, None
+        scaffold = rng.choice(self.lexicon.sentence_scaffolds)
+        body = text.strip()
+        if body.endswith("."):
+            body = body[:-1]
+        body = body[0].lower() + body[1:] if body else body
+        rendered = scaffold.format(body=body)
+        if not rendered.endswith((".", "!", "?")):
+            rendered += "."
+        return rendered, scaffold

@@ -1,0 +1,134 @@
+"""Assembly of the three nvBench-Rob test sets from the original test split."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.database.catalog import Catalog
+from repro.nvbench.dataset import NVBenchDataset
+from repro.nvbench.example import NVBenchExample
+from repro.robustness.nlq_rewriter import NLQRewriter
+from repro.robustness.schema_renamer import SchemaRenamePlan, SchemaRenamer
+from repro.robustness.synonyms import SynonymLexicon, default_lexicon
+
+
+class VariantKind(enum.Enum):
+    """The three robustness test sets plus the unperturbed original."""
+
+    ORIGINAL = "nvBench"
+    NLQ = "nvBench-Rob_nlq"
+    SCHEMA = "nvBench-Rob_schema"
+    BOTH = "nvBench-Rob_(nlq,schema)"
+
+
+@dataclass
+class RobustnessSuite:
+    """The full nvBench-Rob evaluation suite.
+
+    Attributes:
+        original: the unperturbed test split (gold nvBench behaviour).
+        nlq_variant: paraphrased NLQs over the original databases.
+        schema_variant: original NLQs over renamed databases; gold DVQs follow
+            the renamed schema.
+        dual_variant: both perturbations applied together.
+        catalog: catalog containing both original and renamed databases.
+        rename_plans: per-database rename plans (for analysis and debugging).
+    """
+
+    original: NVBenchDataset
+    nlq_variant: NVBenchDataset
+    schema_variant: NVBenchDataset
+    dual_variant: NVBenchDataset
+    catalog: Catalog
+    rename_plans: Dict[str, SchemaRenamePlan] = field(default_factory=dict)
+
+    def variant(self, kind: VariantKind) -> NVBenchDataset:
+        mapping = {
+            VariantKind.ORIGINAL: self.original,
+            VariantKind.NLQ: self.nlq_variant,
+            VariantKind.SCHEMA: self.schema_variant,
+            VariantKind.BOTH: self.dual_variant,
+        }
+        return mapping[kind]
+
+    def all_variants(self) -> Dict[VariantKind, NVBenchDataset]:
+        return {kind: self.variant(kind) for kind in VariantKind}
+
+
+class RobustnessSuiteBuilder:
+    """Builds a :class:`RobustnessSuite` from a generated nvBench dataset."""
+
+    def __init__(
+        self,
+        lexicon: Optional[SynonymLexicon] = None,
+        nlq_rewriter: Optional[NLQRewriter] = None,
+        schema_renamer: Optional[SchemaRenamer] = None,
+    ):
+        self.lexicon = lexicon or default_lexicon()
+        self.nlq_rewriter = nlq_rewriter or NLQRewriter(lexicon=self.lexicon)
+        self.schema_renamer = schema_renamer or SchemaRenamer(lexicon=self.lexicon)
+
+    def build(self, dataset: NVBenchDataset, examples: Optional[List[NVBenchExample]] = None) -> RobustnessSuite:
+        """Perturb ``examples`` (default: the dataset's test split)."""
+        if dataset.catalog is None:
+            raise ValueError("The dataset must carry its database catalog")
+        examples = list(examples if examples is not None else dataset.test)
+
+        # 1. renamed twins of every database used by the evaluated examples
+        rename_plans: Dict[str, SchemaRenamePlan] = {}
+        combined_catalog = Catalog(list(dataset.catalog))
+        for db_id in sorted({example.db_id for example in examples}):
+            database = dataset.catalog.get(db_id)
+            renamed, plan = self.schema_renamer.apply_to_database(database)
+            rename_plans[db_id] = plan
+            if renamed.name not in combined_catalog:
+                combined_catalog.add(renamed)
+
+        # 2. the four example lists
+        original = [example.with_variant(meta_update={"variant": VariantKind.ORIGINAL.value})
+                    for example in examples]
+        nlq_variant: List[NVBenchExample] = []
+        schema_variant: List[NVBenchExample] = []
+        dual_variant: List[NVBenchExample] = []
+        for example in examples:
+            rewrite = self.nlq_rewriter.rewrite(example.nlq, key=example.example_id)
+            plan = rename_plans[example.db_id]
+            renamed_dvq = self.schema_renamer.rewrite_dvq(example.dvq, plan)
+            nlq_variant.append(
+                example.with_variant(
+                    nlq=rewrite.rewritten,
+                    meta_update={
+                        "variant": VariantKind.NLQ.value,
+                        "replaced_words": ",".join(rewrite.replaced_words),
+                    },
+                )
+            )
+            schema_variant.append(
+                example.with_variant(
+                    dvq=renamed_dvq,
+                    db_id=plan.new_db_id,
+                    meta_update={"variant": VariantKind.SCHEMA.value},
+                )
+            )
+            dual_variant.append(
+                example.with_variant(
+                    nlq=rewrite.rewritten,
+                    dvq=renamed_dvq,
+                    db_id=plan.new_db_id,
+                    meta_update={"variant": VariantKind.BOTH.value},
+                )
+            )
+
+        def as_dataset(items: List[NVBenchExample], kind: VariantKind) -> NVBenchDataset:
+            return NVBenchDataset(items, catalog=combined_catalog, name=kind.value)
+
+        return RobustnessSuite(
+            original=as_dataset(original, VariantKind.ORIGINAL),
+            nlq_variant=as_dataset(nlq_variant, VariantKind.NLQ),
+            schema_variant=as_dataset(schema_variant, VariantKind.SCHEMA),
+            dual_variant=as_dataset(dual_variant, VariantKind.BOTH),
+            catalog=combined_catalog,
+            rename_plans=rename_plans,
+        )

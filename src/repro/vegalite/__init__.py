@@ -1,0 +1,23 @@
+"""DVQ → Vega-Lite compilation and chart materialisation.
+
+The paper's text-to-vis pipeline ends with a declarative visualization language
+specification (Vega-Lite) that a front end renders.  This package compiles a
+DVQ into a Vega-Lite JSON specification, validates it against the schema
+subset used by nvBench, and materialises the chart data by delegating to the
+executor.
+"""
+
+from repro.vegalite.spec import Encoding, VegaLiteSpec
+from repro.vegalite.compiler import compile_to_vegalite
+from repro.vegalite.renderer import Chart, ChartRenderer, RenderError
+from repro.vegalite.validation import validate_spec
+
+__all__ = [
+    "Chart",
+    "ChartRenderer",
+    "Encoding",
+    "RenderError",
+    "VegaLiteSpec",
+    "compile_to_vegalite",
+    "validate_spec",
+]

@@ -1,0 +1,119 @@
+"""Compile DVQ ASTs into Vega-Lite specifications."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.database.database import Database
+from repro.database.schema import ColumnType
+from repro.dvq.nodes import (
+    AggregateExpr,
+    BinUnit,
+    ChartType,
+    DVQuery,
+    SelectItem,
+    SortDirection,
+)
+from repro.vegalite.spec import Encoding, VegaLiteSpec
+
+_AGGREGATE_MAP = {
+    "COUNT": "count",
+    "SUM": "sum",
+    "AVG": "mean",
+    "MIN": "min",
+    "MAX": "max",
+}
+
+_TIME_UNIT_MAP = {
+    BinUnit.YEAR: "year",
+    BinUnit.MONTH: "month",
+    BinUnit.WEEKDAY: "day",
+}
+
+
+def _field_type(item: SelectItem, query: DVQuery, database: Optional[Database]) -> str:
+    """Infer the Vega-Lite field type of a select item."""
+    if isinstance(item.expr, AggregateExpr):
+        return "quantitative"
+    column_name = item.expr.column
+    if database is not None:
+        resolved = database.resolve_column(column_name, preferred_table=query.table)
+        if resolved is not None:
+            table_name, canonical = resolved
+            column = database.schema.table(table_name).column(canonical)
+            if column.ctype is ColumnType.NUMBER:
+                return "quantitative"
+            if column.ctype is ColumnType.DATE:
+                return "temporal"
+            return "nominal"
+    if query.bin is not None and column_name.lower() == query.bin.column.column.lower():
+        return "temporal"
+    return "nominal"
+
+
+def _encoding_for(item: SelectItem, query: DVQuery, database: Optional[Database]) -> Encoding:
+    if isinstance(item.expr, AggregateExpr):
+        return Encoding(
+            field=item.expr.argument.column,
+            type="quantitative",
+            aggregate=_AGGREGATE_MAP[item.expr.function.value],
+        )
+    return Encoding(field=item.expr.column, type=_field_type(item, query, database))
+
+
+def compile_to_vegalite(query: DVQuery, database: Optional[Database] = None) -> VegaLiteSpec:
+    """Compile ``query`` into a :class:`VegaLiteSpec` (without data values).
+
+    When ``database`` is given, field types are inferred from the schema;
+    otherwise nominal/quantitative defaults are used.
+    """
+    x_encoding = _encoding_for(query.x, query, database)
+    y_encoding = _encoding_for(query.y, query, database)
+
+    if query.bin is not None and query.bin.unit in _TIME_UNIT_MAP:
+        if x_encoding.field.lower() == query.bin.column.column.lower():
+            x_encoding.time_unit = _TIME_UNIT_MAP[query.bin.unit]
+            x_encoding.type = "temporal"
+    if query.bin is not None and query.bin.unit is BinUnit.INTERVAL:
+        if x_encoding.field.lower() == query.bin.column.column.lower():
+            x_encoding.bin = True
+            x_encoding.type = "quantitative"
+
+    if query.order_by is not None:
+        direction = "ascending" if query.order_by.direction is SortDirection.ASC else "descending"
+        order_expr = query.order_by.expr
+        order_column = (
+            order_expr.argument.column if isinstance(order_expr, AggregateExpr) else order_expr.column
+        )
+        if order_column.lower() == x_encoding.field.lower():
+            x_encoding.sort = direction
+        else:
+            x_encoding.sort = f"-y" if direction == "descending" else "y"
+
+    encoding: Dict[str, Encoding] = {}
+    if query.chart_type is ChartType.PIE:
+        encoding["theta"] = Encoding(
+            field=y_encoding.field,
+            type="quantitative",
+            aggregate=y_encoding.aggregate,
+        )
+        encoding["color"] = Encoding(field=x_encoding.field, type="nominal")
+    else:
+        encoding["x"] = x_encoding
+        encoding["y"] = y_encoding
+        if query.chart_type.is_grouped:
+            color_field = None
+            if query.color is not None:
+                color_field = query.color.column.column
+            elif len(query.group_by) >= 2:
+                color_field = query.group_by[-1].column
+            elif query.group_by:
+                color_field = query.group_by[0].column
+            if color_field:
+                encoding["color"] = Encoding(field=color_field, type="nominal")
+
+    return VegaLiteSpec(
+        mark=query.chart_type.mark,
+        encoding=encoding,
+        title=f"{query.chart_type.value.title()} chart of {query.table}",
+    )

@@ -1,0 +1,113 @@
+"""Chart materialisation: execute a DVQ and attach the data series to its spec."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.database.database import Database
+from repro.dvq.errors import DVQError
+from repro.dvq.nodes import DVQuery
+from repro.dvq.parser import parse_dvq
+from repro.executor.errors import ExecutionError
+from repro.executor.executor import DVQExecutor, ExecutionResult
+from repro.vegalite.compiler import compile_to_vegalite
+from repro.vegalite.spec import VegaLiteSpec
+from repro.vegalite.validation import validate_spec
+
+
+class RenderError(Exception):
+    """Raised when a chart cannot be rendered (bad spec or failed execution)."""
+
+    def __init__(self, message, problems=None):
+        super().__init__(message)
+        self.problems = problems or []
+
+
+@dataclass
+class Chart:
+    """A rendered chart: a validated spec plus its materialised data series."""
+
+    spec: VegaLiteSpec
+    result: ExecutionResult
+    query: DVQuery
+
+    @property
+    def data(self) -> List[Dict[str, object]]:
+        return self.result.as_dicts()
+
+    def summary(self) -> str:
+        """A short human-readable description, used by examples and the case study."""
+        columns = ", ".join(self.result.columns)
+        return (
+            f"{self.query.chart_type.value} chart with {len(self.result)} data points "
+            f"over [{columns}]"
+        )
+
+    def ascii_render(self, width: int = 40, max_rows: int = 12) -> str:
+        """A terminal rendering of the chart (bar lengths proportional to y)."""
+        rows = self.result.rows[:max_rows]
+        if not rows:
+            return "(empty chart)"
+        y_values = []
+        for row in rows:
+            value = row[1] if len(row) > 1 else row[0]
+            try:
+                y_values.append(float(value))
+            except (TypeError, ValueError):
+                y_values.append(0.0)
+        max_y = max(y_values) if any(y_values) else 1.0
+        lines = []
+        for row, y_value in zip(rows, y_values):
+            label = str(row[0])[:18].ljust(18)
+            bar_length = int(round(width * (y_value / max_y))) if max_y else 0
+            lines.append(f"{label} | {'#' * bar_length} {y_value:g}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ChartRenderer:
+    """Renders DVQs (text or AST) into :class:`Chart` objects."""
+
+    executor: DVQExecutor = field(default_factory=DVQExecutor)
+    strict: bool = True
+
+    def render(self, query: DVQuery, database: Database) -> Chart:
+        """Render a parsed query against ``database``.
+
+        Raises:
+            RenderError: when the compiled spec is invalid or execution fails.
+        """
+        spec = compile_to_vegalite(query, database)
+        problems = validate_spec(spec)
+        if problems and self.strict:
+            raise RenderError(
+                f"Invalid Vega-Lite specification: {problems[0]}", problems=problems
+            )
+        try:
+            result = self.executor.execute(query, database)
+        except ExecutionError as exc:
+            raise RenderError(f"Execution failed: {exc}") from exc
+        spec.data_values = result.as_dicts()
+        return Chart(spec=spec, result=result, query=query)
+
+    def render_text(self, dvq_text: str, database: Database) -> Chart:
+        """Parse and render a DVQ string.
+
+        Raises:
+            RenderError: when the DVQ cannot be parsed, compiled or executed —
+                this is the "no chart" outcome the paper's case study reports
+                for non-robust model predictions.
+        """
+        try:
+            query = parse_dvq(dvq_text)
+        except DVQError as exc:
+            raise RenderError(f"Cannot parse DVQ: {exc}") from exc
+        return self.render(query, database)
+
+    def try_render_text(self, dvq_text: str, database: Database) -> Optional[Chart]:
+        """Render a DVQ string, returning ``None`` instead of raising on failure."""
+        try:
+            return self.render_text(dvq_text, database)
+        except RenderError:
+            return None

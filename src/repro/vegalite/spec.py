@@ -1,0 +1,94 @@
+"""A light-weight model of the Vega-Lite specification subset used by nvBench."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+#: Marks accepted by the validator — the ones nvBench charts compile to.
+VALID_MARKS = frozenset({"bar", "line", "point", "arc"})
+
+#: Encoding channels used by nvBench chart types.
+VALID_CHANNELS = frozenset({"x", "y", "color", "theta"})
+
+#: Vega-Lite field types.
+VALID_FIELD_TYPES = frozenset({"quantitative", "nominal", "ordinal", "temporal"})
+
+#: Aggregations understood by the compiler.
+VALID_AGGREGATES = frozenset({"count", "sum", "mean", "average", "min", "max"})
+
+
+@dataclass
+class Encoding:
+    """One encoding channel (x, y, color or theta)."""
+
+    field: str
+    type: str = "nominal"
+    aggregate: Optional[str] = None
+    sort: Optional[str] = None
+    time_unit: Optional[str] = None
+    bin: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"field": self.field, "type": self.type}
+        if self.aggregate:
+            payload["aggregate"] = self.aggregate
+        if self.sort:
+            payload["sort"] = self.sort
+        if self.time_unit:
+            payload["timeUnit"] = self.time_unit
+        if self.bin:
+            payload["bin"] = True
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Encoding":
+        return cls(
+            field=str(payload.get("field", "")),
+            type=str(payload.get("type", "nominal")),
+            aggregate=payload.get("aggregate"),
+            sort=payload.get("sort"),
+            time_unit=payload.get("timeUnit"),
+            bin=bool(payload.get("bin", False)),
+        )
+
+
+@dataclass
+class VegaLiteSpec:
+    """A minimal Vega-Lite specification."""
+
+    mark: str
+    encoding: Dict[str, Encoding]
+    data_values: List[Dict[str, object]] = field(default_factory=list)
+    title: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "$schema": "https://vega.github.io/schema/vega-lite/v5.json",
+            "mark": self.mark,
+            "encoding": {name: enc.to_dict() for name, enc in self.encoding.items()},
+            "data": {"values": self.data_values},
+        }
+        if self.title:
+            payload["title"] = self.title
+        return payload
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "VegaLiteSpec":
+        encoding = {
+            name: Encoding.from_dict(enc)
+            for name, enc in payload.get("encoding", {}).items()
+        }
+        data = payload.get("data", {})
+        values = data.get("values", []) if isinstance(data, dict) else []
+        return cls(
+            mark=str(payload.get("mark", "")),
+            encoding=encoding,
+            data_values=list(values),
+            title=str(payload.get("title", "")),
+        )

@@ -1,0 +1,53 @@
+"""Shared fixtures: a small corpus, its robustness suite and a toy database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.database import DataGenerator
+from repro.database.schema import ColumnType, build_schema
+from repro.nvbench.generator import CorpusConfig, NVBenchGenerator
+from repro.robustness.variants import RobustnessSuiteBuilder
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small (but fully representative) synthetic nvBench corpus."""
+    return NVBenchGenerator(CorpusConfig(scale=0.05, seed=13)).generate()
+
+
+@pytest.fixture(scope="session")
+def robustness_suite(small_dataset):
+    """The nvBench-Rob suite built from the small corpus' test split."""
+    return RobustnessSuiteBuilder().build(small_dataset)
+
+
+@pytest.fixture(scope="session")
+def hr_database():
+    """A populated HR-style database used by executor / renderer tests."""
+    schema = build_schema(
+        "hr_test",
+        [
+            (
+                "employees",
+                [
+                    ("EMPLOYEE_ID", ColumnType.NUMBER, "id"),
+                    ("FIRST_NAME", ColumnType.TEXT, "first_name"),
+                    ("LAST_NAME", ColumnType.TEXT, "last_name"),
+                    ("SALARY", ColumnType.NUMBER, "salary"),
+                    ("HIRE_DATE", ColumnType.DATE, "date"),
+                    ("DEPARTMENT_ID", ColumnType.NUMBER, "id"),
+                ],
+            ),
+            (
+                "departments",
+                [
+                    ("DEPARTMENT_ID", ColumnType.NUMBER, "id"),
+                    ("DEPARTMENT_NAME", ColumnType.TEXT, "department"),
+                    ("BUDGET", ColumnType.NUMBER, "budget"),
+                ],
+            ),
+        ],
+        foreign_keys=[("employees", "DEPARTMENT_ID", "departments", "DEPARTMENT_ID")],
+    )
+    return DataGenerator(seed=3, rows_per_table=30).populate(schema)

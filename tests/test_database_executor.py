@@ -1,0 +1,205 @@
+"""Tests for the relational substrate and the DVQ executor."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.database import Catalog, DataGenerator, Table
+from repro.database.schema import Column, ColumnType, TableSchema, build_schema
+from repro.dvq import parse_dvq
+from repro.dvq.nodes import BinUnit
+from repro.executor import DVQExecutor, ExecutionError
+from repro.executor.binning import bin_value
+from repro.executor.functions import apply_aggregate
+
+
+class TestSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            TableSchema(
+                name="t",
+                columns=(
+                    Column("a", ColumnType.TEXT),
+                    Column("A", ColumnType.NUMBER),
+                ),
+            )
+
+    def test_column_lookup_is_case_insensitive(self, hr_database):
+        table = hr_database.schema.table("employees")
+        assert table.column("salary").name == "SALARY"
+
+    def test_describe_lists_tables_and_foreign_keys(self, hr_database):
+        description = hr_database.schema.describe()
+        assert "# Table employees" in description
+        assert "Foreign_keys" in description
+
+    def test_renamed_schema_rewrites_foreign_keys(self, hr_database):
+        renamed = hr_database.schema.renamed(
+            new_name="hr_renamed",
+            column_renames={("employees", "DEPARTMENT_ID"): "Dept_ID"},
+        )
+        fk = renamed.foreign_keys[0]
+        assert fk.column == "Dept_ID"
+
+    def test_join_graph_connects_tables(self, hr_database):
+        graph = hr_database.schema.join_graph()
+        assert graph.has_edge("employees", "departments")
+
+
+class TestTableAndCatalog:
+    def test_insert_normalises_keys(self):
+        schema = TableSchema("t", (Column("A", ColumnType.NUMBER), Column("B", ColumnType.TEXT)))
+        table = Table(schema)
+        table.insert({"a": 1, "b": "x"})
+        assert table.rows[0]["A"] == 1
+
+    def test_insert_unknown_column_raises(self):
+        schema = TableSchema("t", (Column("A", ColumnType.NUMBER),))
+        with pytest.raises(KeyError):
+            Table(schema).insert({"nope": 1})
+
+    def test_distinct_values_skip_nones(self):
+        schema = TableSchema("t", (Column("A", ColumnType.NUMBER),))
+        table = Table(schema, [{"A": 1}, {"A": None}, {"A": 1}, {"A": 2}])
+        assert table.distinct_values("A") == [1, 2]
+
+    def test_catalog_rejects_duplicates(self, hr_database):
+        catalog = Catalog([hr_database])
+        with pytest.raises(KeyError):
+            catalog.add(hr_database)
+
+    def test_catalog_statistics(self, hr_database):
+        stats = Catalog([hr_database]).statistics()
+        assert stats["databases"] == 1
+        assert stats["tables"] == 2
+        assert stats["avg_columns_per_table"] > 0
+
+
+class TestDataGenerator:
+    def test_generation_is_deterministic(self):
+        schema = build_schema(
+            "gen_test",
+            [("t", [("ID", ColumnType.NUMBER, "id"), ("City", ColumnType.TEXT, "city")])],
+        )
+        first = DataGenerator(seed=5).populate(schema)
+        second = DataGenerator(seed=5).populate(schema)
+        assert first.table("t").rows == second.table("t").rows
+
+    def test_foreign_keys_reference_existing_rows(self, hr_database):
+        departments = set(hr_database.table("departments").column_values("DEPARTMENT_ID"))
+        employees = hr_database.table("employees").column_values("DEPARTMENT_ID")
+        assert all(value in departments for value in employees)
+
+    def test_primary_keys_are_sequential(self, hr_database):
+        ids = hr_database.table("employees").column_values("EMPLOYEE_ID")
+        assert ids == list(range(1, len(ids) + 1))
+
+
+class TestAggregates:
+    @pytest.mark.parametrize(
+        "name,values,expected",
+        [
+            ("COUNT", [1, None, 2], 2),
+            ("SUM", [1, 2, 3], 6),
+            ("AVG", [2, 4], 3),
+            ("MIN", [5, 1, 3], 1),
+            ("MAX", [5, 1, 3], 5),
+        ],
+    )
+    def test_aggregates(self, name, values, expected):
+        assert apply_aggregate(name, values) == expected
+
+    def test_empty_sum_is_none(self):
+        assert apply_aggregate("SUM", []) is None
+
+    def test_count_distinct(self):
+        assert apply_aggregate("COUNT", [1, 1, 2], distinct=True) == 2
+
+
+class TestBinning:
+    def test_year_from_date(self):
+        assert bin_value("2015-06-01", BinUnit.YEAR) == 2015
+
+    def test_month_from_date(self):
+        assert bin_value("2015-06-01", BinUnit.MONTH) == 6
+
+    def test_weekday_from_date(self):
+        assert bin_value("2024-01-01", BinUnit.WEEKDAY) == "Monday"
+
+    def test_interval_bins_numbers(self):
+        assert bin_value(250, BinUnit.INTERVAL, interval=100) == "[200, 300)"
+
+    def test_none_stays_none(self):
+        assert bin_value(None, BinUnit.YEAR) is None
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=1995, max_value=2030), st.integers(min_value=1, max_value=12),
+           st.integers(min_value=1, max_value=28))
+    def test_weekday_is_always_a_day_name(self, year, month, day):
+        value = bin_value(f"{year:04d}-{month:02d}-{day:02d}", BinUnit.WEEKDAY)
+        assert value in {"Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"}
+
+
+class TestExecutor:
+    def test_group_by_counts(self, hr_database):
+        query = parse_dvq(
+            "Visualize BAR SELECT LAST_NAME , COUNT(LAST_NAME) FROM employees GROUP BY LAST_NAME"
+        )
+        result = DVQExecutor().execute(query, hr_database)
+        total = sum(row[1] for row in result.rows)
+        assert total == len(hr_database.table("employees"))
+
+    def test_where_filters_rows(self, hr_database):
+        query = parse_dvq(
+            "Visualize BAR SELECT LAST_NAME , SALARY FROM employees WHERE SALARY > 10000"
+        )
+        result = DVQExecutor().execute(query, hr_database)
+        assert all(row[1] > 10000 for row in result.rows)
+
+    def test_order_by_desc(self, hr_database):
+        query = parse_dvq(
+            "Visualize BAR SELECT LAST_NAME , AVG(SALARY) FROM employees GROUP BY LAST_NAME "
+            "ORDER BY AVG(SALARY) DESC"
+        )
+        result = DVQExecutor().execute(query, hr_database)
+        values = [row[1] for row in result.rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_bin_by_year_groups_dates(self, hr_database):
+        query = parse_dvq(
+            "Visualize LINE SELECT HIRE_DATE , AVG(SALARY) FROM employees BIN HIRE_DATE BY YEAR"
+        )
+        result = DVQExecutor().execute(query, hr_database)
+        assert all(isinstance(row[0], int) for row in result.rows)
+
+    def test_join_execution(self, hr_database):
+        query = parse_dvq(
+            "Visualize BAR SELECT DEPARTMENT_NAME , AVG(SALARY) FROM employees "
+            "JOIN departments ON employees.DEPARTMENT_ID = departments.DEPARTMENT_ID "
+            "GROUP BY DEPARTMENT_NAME"
+        )
+        result = DVQExecutor().execute(query, hr_database)
+        assert len(result) >= 1
+
+    def test_missing_column_raises(self, hr_database):
+        query = parse_dvq("Visualize BAR SELECT wage , COUNT(wage) FROM employees GROUP BY wage")
+        with pytest.raises(ExecutionError):
+            DVQExecutor().execute(query, hr_database)
+
+    def test_missing_table_raises(self, hr_database):
+        query = parse_dvq("Visualize BAR SELECT a , COUNT(a) FROM missing GROUP BY a")
+        with pytest.raises(ExecutionError):
+            DVQExecutor().execute(query, hr_database)
+
+    def test_can_execute_flag(self, hr_database):
+        executor = DVQExecutor()
+        good = parse_dvq("Visualize BAR SELECT LAST_NAME , COUNT(LAST_NAME) FROM employees GROUP BY LAST_NAME")
+        bad = parse_dvq("Visualize BAR SELECT wage , COUNT(wage) FROM employees GROUP BY wage")
+        assert executor.can_execute(good, hr_database)
+        assert not executor.can_execute(bad, hr_database)
+
+    def test_gold_corpus_queries_all_execute(self, small_dataset):
+        executor = DVQExecutor()
+        for example in small_dataset.examples[:150]:
+            query = parse_dvq(example.dvq)
+            database = small_dataset.catalog.get(example.db_id)
+            executor.execute(query, database)

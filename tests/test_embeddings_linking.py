@@ -1,0 +1,137 @@
+"""Tests for the embedding substrate and the schema linker."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.embeddings import EmbedderConfig, TextEmbedder, VectorStore
+from repro.embeddings.tokenization import char_ngrams, content_words, split_identifier, word_tokens
+from repro.linking import SchemaLinker
+
+
+class TestTokenization:
+    def test_split_snake_case(self):
+        assert split_identifier("HIRE_DATE") == ["HIRE", "DATE"]
+
+    def test_split_camel_case(self):
+        assert split_identifier("DeptName") == ["Dept", "Name"]
+
+    def test_word_tokens_include_identifier_parts(self):
+        tokens = word_tokens("show HIRE_DATE please")
+        assert "hire" in tokens and "date" in tokens
+
+    def test_content_words_drop_stopwords(self):
+        assert "the" not in content_words("show the salary of the staff")
+
+    def test_char_ngrams_have_boundaries(self):
+        assert char_ngrams("a", n=3) == ["#a#"]
+        grams = char_ngrams("salary", n=3)
+        assert grams[0].startswith("#") and grams[-1].endswith("#")
+
+
+class TestTextEmbedder:
+    def test_embeddings_are_unit_norm(self):
+        embedder = TextEmbedder()
+        vector = embedder.embed("show the average salary per department")
+        assert np.isclose(np.linalg.norm(vector), 1.0)
+
+    def test_similar_texts_score_higher_than_dissimilar(self):
+        embedder = TextEmbedder()
+        base = "show the average salary for each department"
+        close = "display the average salary for every department"
+        far = "list all airports located in Tokyo"
+        assert embedder.similarity(base, close) > embedder.similarity(base, far)
+
+    def test_embedding_is_deterministic(self):
+        embedder = TextEmbedder()
+        text = "bar chart of wages"
+        assert np.allclose(embedder.embed(text), embedder.embed(text))
+
+    def test_fit_changes_weights(self):
+        corpus = ["salary by department", "salary by job", "capacity of cinemas"]
+        unfitted = TextEmbedder().embed("salary by department")
+        fitted = TextEmbedder().fit(corpus).embed("salary by department")
+        assert not np.allclose(unfitted, fitted)
+
+    def test_batch_shape(self):
+        embedder = TextEmbedder(EmbedderConfig(dimensions=64))
+        matrix = embedder.embed_batch(["a", "b", "c"])
+        assert matrix.shape == (3, 64)
+
+    def test_empty_batch(self):
+        assert TextEmbedder().embed_batch([]).shape[0] == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(min_size=1, max_size=60))
+    def test_any_text_embeds_without_error(self, text):
+        vector = TextEmbedder(EmbedderConfig(dimensions=32)).embed(text)
+        assert vector.shape == (32,)
+        assert np.all(np.isfinite(vector))
+
+
+class TestVectorStore:
+    def _store(self):
+        embedder = TextEmbedder(EmbedderConfig(dimensions=128))
+        store = VectorStore(embedder)
+        store.add("1", "average salary per department", {"id": 1})
+        store.add("2", "number of pets per student", {"id": 2})
+        store.add("3", "capacity of each cinema by year", {"id": 3})
+        return store
+
+    def test_search_returns_most_relevant_first(self):
+        hits = self._store().search("mean salary for every department", top_k=2)
+        assert hits[0].payload["id"] == 1
+
+    def test_search_scores_are_descending(self):
+        hits = self._store().search("pets owned by students", top_k=3)
+        scores = [hit.score for hit in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_k_caps_results(self):
+        assert len(self._store().search("salary", top_k=2)) == 2
+
+    def test_empty_store_returns_nothing(self):
+        store = VectorStore(TextEmbedder())
+        assert store.search("anything", top_k=5) == []
+
+    def test_add_many(self):
+        store = VectorStore(TextEmbedder())
+        store.add_many([("a", "text one", 1), ("b", "text two", 2)])
+        assert len(store) == 2
+
+
+class TestSchemaLinker:
+    def test_exact_column_mention_scores_one(self, hr_database):
+        linker = SchemaLinker()
+        candidate = linker.best_column("HIRE_DATE", hr_database.schema)
+        assert candidate.column == "HIRE_DATE"
+        assert candidate.score == pytest.approx(1.0, abs=0.1)
+
+    def test_semantic_linker_resolves_synonyms(self, hr_database):
+        linker = SchemaLinker(use_synonyms=True)
+        candidate = linker.best_column("wage", hr_database.schema)
+        assert candidate is not None and candidate.column == "SALARY"
+
+    def test_lexical_linker_fails_on_synonyms(self, hr_database):
+        linker = SchemaLinker(use_synonyms=False, use_char_similarity=False, min_score=0.5)
+        candidate = linker.best_column("wage", hr_database.schema)
+        assert candidate is None or candidate.column != "SALARY"
+
+    def test_map_foreign_column_recovers_rename(self, hr_database):
+        linker = SchemaLinker(use_synonyms=True)
+        renamed = hr_database.schema.renamed(column_renames={("employees", "SALARY"): "wage"})
+        candidate = linker.map_foreign_column("SALARY", renamed, preferred_tables=["employees"])
+        assert candidate is not None and candidate.column == "wage"
+
+    def test_map_foreign_column_keeps_existing(self, hr_database):
+        linker = SchemaLinker()
+        candidate = linker.map_foreign_column("SALARY", hr_database.schema)
+        assert candidate.column == "SALARY" and candidate.score == 1.0
+
+    def test_question_links_find_mentioned_columns(self, hr_database):
+        linker = SchemaLinker()
+        links = linker.question_links(
+            "Show the average SALARY for each LAST_NAME in a bar chart", hr_database.schema
+        )
+        linked = {link.column for link in links}
+        assert "SALARY" in linked and "LAST_NAME" in linked

@@ -1,0 +1,86 @@
+"""Tests for the evaluation metrics and reporting."""
+
+import pytest
+
+from repro.evaluation import (
+    compare_queries,
+    evaluate_predictions,
+    format_accuracy_table,
+    format_markdown_table,
+)
+from repro.evaluation.metrics import EvaluationResult, evaluate_by_group
+
+GOLD = "Visualize BAR SELECT JOB_ID , AVG(MANAGER_ID) FROM employees GROUP BY JOB_ID ORDER BY JOB_ID ASC"
+
+
+class TestCompareQueries:
+    def test_exact_match(self):
+        match = compare_queries(GOLD, GOLD)
+        assert match.vis and match.axis and match.data and match.overall
+
+    def test_chart_type_mismatch_only_affects_vis(self):
+        match = compare_queries(GOLD.replace("BAR", "PIE"), GOLD)
+        assert not match.vis and match.axis and match.data
+
+    def test_axis_mismatch(self):
+        match = compare_queries(GOLD.replace("AVG", "SUM"), GOLD)
+        assert match.vis and not match.axis
+
+    def test_data_mismatch_on_order(self):
+        match = compare_queries(GOLD.replace("ASC", "DESC"), GOLD)
+        assert match.vis and match.axis and not match.data
+
+    def test_case_differences_do_not_matter(self):
+        match = compare_queries(GOLD.lower().replace("visualize", "Visualize"), GOLD)
+        assert match.overall
+
+    def test_unparseable_prediction_is_wrong(self):
+        match = compare_queries("completely broken output", GOLD)
+        assert not match.vis and not match.overall
+
+
+class TestAggregation:
+    def test_accuracies(self):
+        pairs = [
+            (GOLD, GOLD),
+            (GOLD.replace("BAR", "PIE"), GOLD),
+            (GOLD.replace("ASC", "DESC"), GOLD),
+            (GOLD, GOLD),
+        ]
+        result = evaluate_predictions(pairs)
+        assert result.total == 4
+        assert result.vis_accuracy == pytest.approx(0.75)
+        assert result.overall_accuracy == pytest.approx(0.5)
+
+    def test_empty_set(self):
+        result = evaluate_predictions([])
+        assert result.overall_accuracy == 0.0 and result.total == 0
+
+    def test_as_dict_keys(self):
+        result = evaluate_predictions([(GOLD, GOLD)])
+        assert set(result.as_dict()) == {
+            "vis_accuracy", "data_accuracy", "axis_accuracy", "overall_accuracy", "total",
+        }
+
+    def test_evaluate_by_group(self):
+        records = [("easy", GOLD, GOLD), ("hard", GOLD.replace("BAR", "PIE"), GOLD)]
+        grouped = evaluate_by_group(records)
+        assert grouped["easy"].overall_accuracy == 1.0
+        assert grouped["hard"].overall_accuracy == 0.0
+
+
+class TestReport:
+    results = {
+        "RGVisNet": EvaluationResult(total=100, vis_correct=96, axis_correct=70, data_correct=53, overall_correct=45),
+        "GRED (Ours)": EvaluationResult(total=100, vis_correct=97, axis_correct=88, data_correct=61, overall_correct=59),
+    }
+
+    def test_fixed_width_table_contains_models_and_columns(self):
+        table = format_accuracy_table(self.results, title="Results in nvBench-Rob_nlq")
+        assert "RGVisNet" in table and "GRED (Ours)" in table
+        assert "Vis Acc." in table and "Acc." in table
+
+    def test_markdown_table_has_rows(self):
+        table = format_markdown_table(self.results)
+        assert table.count("|") > 10
+        assert "59.00%" in table

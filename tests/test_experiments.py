@@ -1,0 +1,38 @@
+"""Smoke tests for the experiment workbench (the table/figure regeneration harness)."""
+
+import pytest
+
+from repro.experiments import Workbench, WorkbenchConfig
+from repro.evaluation.report import format_accuracy_table, format_overall_series
+from repro.robustness.variants import VariantKind
+
+
+@pytest.fixture(scope="module")
+def workbench():
+    return Workbench(WorkbenchConfig(scale=0.04, seed=5, evaluation_limit=25, gred_top_k=5))
+
+
+class TestWorkbench:
+    def test_dataset_and_suite_are_cached(self, workbench):
+        assert workbench.dataset is workbench.dataset
+        assert workbench.suite is workbench.suite
+
+    def test_table_results_contain_all_models(self, workbench):
+        results = workbench.table_results(VariantKind.NLQ)
+        assert set(results) == {"Seq2Vis", "Transformer", "RGVisNet", "GRED (Ours)"}
+        table = format_accuracy_table(results, title="Table 1")
+        assert "GRED (Ours)" in table
+
+    def test_figure3_series_shows_a_drop(self, workbench):
+        series = workbench.figure3_series()
+        for model_name, values in series.items():
+            assert values[VariantKind.ORIGINAL.value] >= values[VariantKind.BOTH.value], model_name
+        assert format_overall_series(series)
+
+    def test_case_study_has_all_models(self, workbench):
+        case = workbench.case_study(index=0)
+        assert {"NLQ", "Target", "Seq2Vis", "Transformer", "RGVisNet", "GRED"} <= set(case)
+
+    def test_evaluation_limit_is_respected(self, workbench):
+        run = workbench.evaluate_on_variant(workbench.baselines()["Transformer"], VariantKind.ORIGINAL)
+        assert len(run.records) <= 25

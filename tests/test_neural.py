@@ -1,0 +1,116 @@
+"""Tests for the NumPy neural substrate."""
+
+import numpy as np
+import pytest
+
+from repro.neural import (
+    BagOfWordsFeaturizer,
+    MLPClassifier,
+    MultiHeadSketchClassifier,
+    TrainingConfig,
+    Vocabulary,
+)
+
+
+class TestVocabulary:
+    def test_unknown_maps_to_zero(self):
+        vocabulary = Vocabulary(["alpha", "beta"])
+        assert vocabulary.index("missing") == 0
+        assert vocabulary.index("alpha") > 0
+
+    def test_from_corpus_orders_by_frequency(self):
+        vocabulary = Vocabulary.from_corpus([["a", "a", "b"], ["a", "c"]])
+        assert vocabulary.index("a") == 1
+
+    def test_max_size_is_enforced(self):
+        vocabulary = Vocabulary.from_corpus([[f"tok{i}" for i in range(100)]], max_size=10)
+        assert len(vocabulary) == 10
+
+    def test_round_trip(self):
+        vocabulary = Vocabulary(["x"])
+        assert vocabulary.token(vocabulary.index("x")) == "x"
+
+
+class TestFeaturizer:
+    def test_vectors_are_normalised(self):
+        featurizer = BagOfWordsFeaturizer().fit(["show the salary", "show the budget"])
+        vector = featurizer.transform_one("show the salary")
+        assert np.isclose(np.linalg.norm(vector), 1.0)
+
+    def test_bigrams_included(self):
+        featurizer = BagOfWordsFeaturizer()
+        assert any("_" in token for token in featurizer.tokens("group by salary"))
+
+    def test_transform_shape(self):
+        featurizer = BagOfWordsFeaturizer().fit(["a b c", "d e"])
+        assert featurizer.transform(["a", "d"]).shape == (2, featurizer.dimension)
+
+
+class TestMLPClassifier:
+    def _toy_data(self):
+        rng = np.random.default_rng(0)
+        inputs = rng.normal(size=(200, 10))
+        labels = (inputs[:, 0] + inputs[:, 1] > 0).astype(int)
+        return inputs, labels
+
+    def test_learns_a_linearly_separable_problem(self):
+        inputs, labels = self._toy_data()
+        classifier = MLPClassifier(10, 2, TrainingConfig(epochs=30, hidden_size=16, learning_rate=0.02))
+        classifier.fit(inputs, labels)
+        assert classifier.accuracy(inputs, labels) > 0.9
+
+    def test_loss_decreases(self):
+        inputs, labels = self._toy_data()
+        classifier = MLPClassifier(10, 2, TrainingConfig(epochs=15, hidden_size=16))
+        classifier.fit(inputs, labels)
+        assert classifier.loss_history[-1] < classifier.loss_history[0]
+
+    def test_probabilities_sum_to_one(self):
+        inputs, labels = self._toy_data()
+        classifier = MLPClassifier(10, 2, TrainingConfig(epochs=2))
+        classifier.fit(inputs, labels)
+        probabilities = classifier.predict_proba(inputs[:5])
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_empty_fit_is_noop(self):
+        classifier = MLPClassifier(4, 2)
+        classifier.fit(np.zeros((0, 4)), [])
+        assert classifier.loss_history == []
+
+
+class TestMultiHead:
+    def _train(self):
+        questions = [
+            "draw a bar chart of salary by name",
+            "draw a bar chart of budget by city",
+            "show a pie chart of countries",
+            "show a pie chart of categories",
+            "plot a line chart of sales over time",
+            "plot a line chart of price over years",
+        ] * 5
+        targets = (
+            [{"chart": "BAR", "agg": "AVG"}] * 2
+            + [{"chart": "PIE", "agg": "COUNT"}] * 2
+            + [{"chart": "LINE", "agg": "SUM"}] * 2
+        ) * 5
+        classifier = MultiHeadSketchClassifier(TrainingConfig(epochs=20, hidden_size=16))
+        return classifier.fit(questions, targets), questions, targets
+
+    def test_predicts_all_heads(self):
+        classifier, _questions, _targets = self._train()
+        prediction = classifier.predict("draw a bar chart of wages by person")
+        assert set(prediction) == {"chart", "agg"}
+        assert prediction["chart"] == "BAR"
+
+    def test_training_accuracy_is_high(self):
+        classifier, questions, targets = self._train()
+        scores = classifier.accuracy(questions, targets)
+        assert all(score > 0.9 for score in scores.values())
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MultiHeadSketchClassifier().predict("anything")
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            MultiHeadSketchClassifier().fit(["a"], [])

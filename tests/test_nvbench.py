@@ -1,0 +1,140 @@
+"""Tests for the synthetic nvBench corpus generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dvq import parse_dvq
+from repro.dvq.nodes import ChartType
+from repro.nvbench import NVBenchDataset, NVBenchExample, Split, compute_hardness, compute_statistics
+from repro.nvbench.domains import DOMAIN_TEMPLATES, build_catalog_schemas
+from repro.nvbench.generator import CorpusConfig, NVBenchGenerator
+from repro.nvbench.nlq import NLQTemplater
+from repro.nvbench.sampler import DVQSampler
+from repro.nvbench.hardness import Hardness
+from repro.nvbench.stats import PAPER_CHART_TYPE_COUNTS
+import random
+
+
+class TestDomains:
+    def test_templates_have_foreign_keys(self):
+        assert all(template.foreign_keys for template in DOMAIN_TEMPLATES)
+
+    def test_build_catalog_schemas_count(self):
+        schemas = build_catalog_schemas(104)
+        assert len(schemas) == 104
+        assert len({schema.name for schema in schemas}) == 104
+
+    def test_average_tables_per_database_is_plausible(self):
+        schemas = build_catalog_schemas(52)
+        average = sum(len(schema.tables) for schema in schemas) / len(schemas)
+        assert 3.0 <= average <= 6.5
+
+
+class TestSamplerAndTemplater:
+    @pytest.mark.parametrize("chart_name", list(PAPER_CHART_TYPE_COUNTS))
+    def test_sampler_supports_every_chart_type(self, chart_name, small_dataset):
+        rng = random.Random(1)
+        sampled = False
+        for database in small_dataset.catalog:
+            sampler = DVQSampler(database.schema, rng)
+            try:
+                query = sampler.sample(ChartType.from_text(chart_name), Hardness.MEDIUM)
+            except Exception:
+                continue
+            assert query.chart_type.value == chart_name or query.chart_type.is_grouped is False
+            sampled = True
+            break
+        assert sampled
+
+    def test_nlq_mentions_column_names_explicitly(self, small_dataset):
+        """The defining nvBench property: questions echo schema identifiers."""
+        mention_count = 0
+        for example in small_dataset.examples[:100]:
+            query = parse_dvq(example.dvq)
+            x_column = query.x.column.column
+            if x_column.lower() in example.nlq.lower():
+                mention_count += 1
+        assert mention_count / 100 > 0.9
+
+    def test_templater_is_deterministic_per_rng_seed(self, small_dataset):
+        query = parse_dvq(small_dataset.examples[0].dvq)
+        first = NLQTemplater(random.Random(5)).render(query)
+        second = NLQTemplater(random.Random(5)).render(query)
+        assert first == second
+
+
+class TestGenerator:
+    def test_generation_is_deterministic(self):
+        config = CorpusConfig(scale=0.02, seed=21)
+        first = NVBenchGenerator(config).generate()
+        second = NVBenchGenerator(config).generate()
+        assert [e.dvq for e in first.examples] == [e.dvq for e in second.examples]
+
+    def test_split_ratios(self, small_dataset):
+        total = len(small_dataset)
+        assert len(small_dataset.train) / total == pytest.approx(0.80, abs=0.03)
+        assert len(small_dataset.test) / total == pytest.approx(0.155, abs=0.03)
+
+    def test_all_examples_reference_catalog_databases(self, small_dataset):
+        for example in small_dataset.examples:
+            assert example.db_id in small_dataset.catalog
+
+    def test_all_gold_dvqs_parse(self, small_dataset):
+        for example in small_dataset.examples:
+            parse_dvq(example.dvq)
+
+    def test_chart_distribution_is_bar_dominated(self, small_dataset):
+        stats = compute_statistics(small_dataset.examples, small_dataset.catalog)
+        bar_share = stats.chart_type_counts.get("BAR", 0) / stats.total_examples
+        assert bar_share > 0.5
+
+    def test_hardness_levels_all_present(self, small_dataset):
+        stats = compute_statistics(small_dataset.examples, small_dataset.catalog)
+        assert set(stats.hardness_counts) >= {"Easy", "Medium", "Hard"}
+
+    def test_statistics_rows_flatten(self, small_dataset):
+        stats = compute_statistics(small_dataset.examples, small_dataset.catalog)
+        rows = stats.as_rows()
+        assert ("total", "examples", stats.total_examples) in rows
+
+    def test_hardness_matches_recomputation(self, small_dataset):
+        for example in small_dataset.examples[:50]:
+            assert compute_hardness(parse_dvq(example.dvq)).value == example.hardness
+
+
+class TestDataset:
+    def test_save_and_load_round_trip(self, small_dataset, tmp_path):
+        path = tmp_path / "examples.json"
+        small_dataset.save_examples(path)
+        loaded = NVBenchDataset.load_examples(path, catalog=small_dataset.catalog)
+        assert len(loaded) == len(small_dataset)
+        assert loaded.examples[0] == small_dataset.examples[0]
+
+    def test_filter_returns_view(self, small_dataset):
+        bars = small_dataset.filter(lambda example: example.chart_type == "BAR")
+        assert all(example.chart_type == "BAR" for example in bars.examples)
+
+    def test_example_variant_copy(self):
+        example = NVBenchExample(
+            example_id="e1", db_id="db", nlq="q", dvq="Visualize BAR SELECT a , COUNT(a) FROM t GROUP BY a",
+            chart_type="BAR", hardness="Easy",
+        )
+        variant = example.with_variant(nlq="new question", meta_update={"variant": "nlq"})
+        assert variant.nlq == "new question"
+        assert variant.dvq == example.dvq
+        assert example.nlq == "q"
+
+    def test_split_round_trip_via_dict(self):
+        example = NVBenchExample(
+            example_id="e1", db_id="db", nlq="q", dvq="d", chart_type="BAR",
+            hardness="Easy", split=Split.DEV,
+        )
+        assert NVBenchExample.from_dict(example.to_dict()) == example
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(min_size=1, max_size=40), st.text(min_size=1, max_size=40))
+    def test_example_serialization_survives_arbitrary_text(self, nlq, dvq):
+        example = NVBenchExample(
+            example_id="x", db_id="db", nlq=nlq, dvq=dvq, chart_type="BAR", hardness="Easy"
+        )
+        assert NVBenchExample.from_dict(example.to_dict()) == example

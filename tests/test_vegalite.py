@@ -1,0 +1,119 @@
+"""Tests for the Vega-Lite compiler, validator and chart renderer."""
+
+import json
+
+import pytest
+
+from repro.dvq import parse_dvq
+from repro.vegalite import ChartRenderer, RenderError, compile_to_vegalite, validate_spec
+from repro.vegalite.spec import Encoding, VegaLiteSpec
+
+
+class TestCompiler:
+    def test_bar_chart_mark_and_channels(self, hr_database):
+        query = parse_dvq(
+            "Visualize BAR SELECT LAST_NAME , AVG(SALARY) FROM employees GROUP BY LAST_NAME"
+        )
+        spec = compile_to_vegalite(query, hr_database)
+        assert spec.mark == "bar"
+        assert spec.encoding["y"].aggregate == "mean"
+        assert spec.encoding["x"].field == "LAST_NAME"
+
+    def test_pie_chart_uses_theta(self, hr_database):
+        query = parse_dvq(
+            "Visualize PIE SELECT LAST_NAME , COUNT(LAST_NAME) FROM employees GROUP BY LAST_NAME"
+        )
+        spec = compile_to_vegalite(query, hr_database)
+        assert spec.mark == "arc"
+        assert "theta" in spec.encoding
+
+    def test_line_chart_with_year_bin_sets_timeunit(self, hr_database):
+        query = parse_dvq(
+            "Visualize LINE SELECT HIRE_DATE , AVG(SALARY) FROM employees BIN HIRE_DATE BY YEAR"
+        )
+        spec = compile_to_vegalite(query, hr_database)
+        assert spec.encoding["x"].time_unit == "year"
+
+    def test_order_by_sets_sort(self, hr_database):
+        query = parse_dvq(
+            "Visualize BAR SELECT LAST_NAME , AVG(SALARY) FROM employees GROUP BY LAST_NAME "
+            "ORDER BY LAST_NAME DESC"
+        )
+        spec = compile_to_vegalite(query, hr_database)
+        assert spec.encoding["x"].sort == "descending"
+
+    def test_field_types_from_schema(self, hr_database):
+        query = parse_dvq("Visualize SCATTER SELECT SALARY , DEPARTMENT_ID FROM employees")
+        spec = compile_to_vegalite(query, hr_database)
+        assert spec.encoding["x"].type == "quantitative"
+
+    def test_spec_round_trips_through_json(self, hr_database):
+        query = parse_dvq(
+            "Visualize BAR SELECT LAST_NAME , COUNT(LAST_NAME) FROM employees GROUP BY LAST_NAME"
+        )
+        spec = compile_to_vegalite(query, hr_database)
+        payload = json.loads(spec.to_json())
+        rebuilt = VegaLiteSpec.from_dict(payload)
+        assert rebuilt.mark == spec.mark
+        assert set(rebuilt.encoding) == set(spec.encoding)
+
+
+class TestValidation:
+    def test_valid_spec_passes(self):
+        spec = VegaLiteSpec(mark="bar", encoding={"x": Encoding("a"), "y": Encoding("b", type="quantitative")})
+        assert validate_spec(spec) == []
+
+    def test_unknown_mark_rejected(self):
+        spec = VegaLiteSpec(mark="histogram", encoding={"x": Encoding("a"), "y": Encoding("b")})
+        problems = validate_spec(spec)
+        assert any("histogram" in problem for problem in problems)
+
+    def test_empty_field_rejected(self):
+        spec = VegaLiteSpec(mark="bar", encoding={"x": Encoding(""), "y": Encoding("b")})
+        assert validate_spec(spec)
+
+    def test_natural_language_field_rejected(self):
+        spec = VegaLiteSpec(mark="bar", encoding={"x": Encoding("date of hire"), "y": Encoding("wage")})
+        assert validate_spec(spec)
+
+    def test_missing_encoding_rejected(self):
+        assert validate_spec(VegaLiteSpec(mark="bar", encoding={}))
+
+
+class TestRenderer:
+    def test_render_attaches_data(self, hr_database):
+        chart = ChartRenderer().render_text(
+            "Visualize BAR SELECT LAST_NAME , COUNT(LAST_NAME) FROM employees GROUP BY LAST_NAME",
+            hr_database,
+        )
+        assert len(chart.data) > 0
+        assert "LAST_NAME" in chart.data[0]
+
+    def test_render_fails_on_unknown_column(self, hr_database):
+        with pytest.raises(RenderError):
+            ChartRenderer().render_text(
+                "Visualize BAR SELECT wage , COUNT(wage) FROM employees GROUP BY wage",
+                hr_database,
+            )
+
+    def test_render_fails_on_unparseable_query(self, hr_database):
+        with pytest.raises(RenderError):
+            ChartRenderer().render_text("this is not a DVQ at all", hr_database)
+
+    def test_try_render_returns_none_on_failure(self, hr_database):
+        renderer = ChartRenderer()
+        assert renderer.try_render_text("garbage", hr_database) is None
+
+    def test_ascii_render_produces_bars(self, hr_database):
+        chart = ChartRenderer().render_text(
+            "Visualize BAR SELECT LAST_NAME , COUNT(LAST_NAME) FROM employees GROUP BY LAST_NAME",
+            hr_database,
+        )
+        assert "#" in chart.ascii_render()
+
+    def test_summary_mentions_chart_type(self, hr_database):
+        chart = ChartRenderer().render_text(
+            "Visualize PIE SELECT LAST_NAME , COUNT(LAST_NAME) FROM employees GROUP BY LAST_NAME",
+            hr_database,
+        )
+        assert "PIE" in chart.summary()
