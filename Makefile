@@ -1,0 +1,19 @@
+# Convenience wrappers around the tier-1 test command and the benchmark harness.
+# See README.md ("Tests and benchmarks") and docs/architecture.md.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-paper-scale quickstart
+
+test:            ## tier-1 suite (tests/ + benchmarks/, fail fast)
+	$(PYTHON) -m pytest -x -q
+
+bench:           ## experiment harness only (tables, figures, runtime throughput)
+	$(PYTHON) -m pytest benchmarks -q -s
+
+bench-paper-scale: ## benchmarks at the paper's full corpus scale (slow)
+	$(PYTHON) -m pytest benchmarks -q -s --paper-scale
+
+quickstart:      ## end-to-end example: corpus -> GRED -> rendered chart
+	$(PYTHON) examples/quickstart.py

@@ -7,7 +7,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Reproduction of 'Towards Robustness of Text-to-Visualization Translation "
         "against Lexical and Phrasal Variability' (nvBench-Rob + GRED)"

@@ -12,6 +12,9 @@ Top-level convenience imports; see the subpackages for the full API:
 * :mod:`repro.core` — GRED, the paper's contribution.
 * :mod:`repro.evaluation` / :mod:`repro.experiments` — metrics and the harness
   that regenerates every table and figure.
+* :mod:`repro.runtime` — the batched, cached execution engine (thread-pooled
+  :class:`~repro.runtime.runner.BatchRunner`, completion-memoizing
+  :class:`~repro.runtime.cache.LLMCache`).
 """
 
 from repro.core.config import GREDConfig
@@ -20,13 +23,16 @@ from repro.evaluation.metrics import evaluate_predictions
 from repro.experiments.workbench import Workbench, WorkbenchConfig
 from repro.nvbench.generator import CorpusConfig, NVBenchGenerator, build_corpus
 from repro.robustness.variants import RobustnessSuiteBuilder, VariantKind
+from repro.runtime import BatchRunner, LLMCache
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BatchRunner",
     "CorpusConfig",
     "GRED",
     "GREDConfig",
+    "LLMCache",
     "NVBenchGenerator",
     "RobustnessSuiteBuilder",
     "VariantKind",

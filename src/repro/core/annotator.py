@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional
 
 from repro.database.catalog import Catalog
@@ -11,20 +12,31 @@ from repro.llm.interface import ChatModel, CompletionParams
 
 
 class DatabaseAnnotator:
-    """Generates and caches natural-language annotations for databases."""
+    """Generates and caches natural-language annotations for databases.
+
+    The cache is thread-safe so batched inference workers can share one
+    annotator; the completion call runs outside the lock, so two workers
+    racing on the same uncached database may both annotate it, but the result
+    is deterministic and the second write is a no-op.
+    """
 
     def __init__(self, llm: ChatModel, params: Optional[CompletionParams] = None):
         self.llm = llm
         self.params = params or CompletionParams()
         self._cache: Dict[str, str] = {}
+        self._lock = threading.Lock()
 
     def annotate(self, database: Database) -> str:
         """The annotation text for ``database`` (computed once, then cached)."""
         key = database.name.lower()
-        if key not in self._cache:
-            prompt = make_annotation_prompt(database.schema)
-            self._cache[key] = self.llm.complete_text(ANNOTATION_SYSTEM, prompt, params=self.params)
-        return self._cache[key]
+        with self._lock:
+            cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        prompt = make_annotation_prompt(database.schema)
+        annotation = self.llm.complete_text(ANNOTATION_SYSTEM, prompt, params=self.params)
+        with self._lock:
+            return self._cache.setdefault(key, annotation)
 
     def annotate_catalog(self, catalog: Catalog) -> Dict[str, str]:
         """Annotate every database in a catalog, returning name -> annotation."""

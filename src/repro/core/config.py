@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.llm.interface import CompletionParams
 
@@ -14,6 +15,27 @@ class GREDConfig:
     ``top_k = 10`` follows Section 5.1 of the paper; the two completion
     parameter sets mirror the reported ``openai.ChatCompletion.create``
     settings for preparation and for the main pipeline.
+
+    Attributes:
+        top_k: number of retrieved examples fed to the generator and retuner.
+        use_retuner: ablation switch for the DVQ-Retrieval Retuner (stage b).
+        use_debugger: ablation switch for the Annotation-based Debugger
+            (stage c).
+        embedder_dimensions: output size of the hashed TF-IDF embedder backing
+            the retrieval libraries.
+        max_library_examples: cap on how many training examples are embedded
+            into the NLQ/DVQ libraries during :meth:`~repro.core.pipeline.GRED.fit`.
+        name: display name used in tables; ablation switches decorate it via
+            :meth:`variant_name`.
+        use_llm_cache: wrap the chat model in an
+            :class:`~repro.runtime.cache.LLMCache` so identical completion
+            requests (shared database annotations, repeated variant prompts)
+            are served from memory.  Off by default to keep the completion log
+            a faithful call-by-call record; the experiment workbench turns it
+            on.
+        llm_cache_max_entries: optional FIFO capacity bound for the completion
+            cache (``None`` = unbounded).  Only meaningful with
+            ``use_llm_cache``.
     """
 
     top_k: int = 10
@@ -22,6 +44,8 @@ class GREDConfig:
     embedder_dimensions: int = 512
     max_library_examples: int = 8000
     name: str = "GRED"
+    use_llm_cache: bool = False
+    llm_cache_max_entries: Optional[int] = None
 
     @property
     def preparation_params(self) -> CompletionParams:

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.annotator import DatabaseAnnotator
 from repro.core.config import GREDConfig
@@ -17,16 +18,24 @@ from repro.llm.interface import ChatModel
 from repro.llm.simulated import SimulatedChatModel
 from repro.models.base import TextToVisModel
 from repro.nvbench.example import NVBenchExample
+from repro.runtime.cache import LLMCache
+from repro.runtime.runner import BatchReport, BatchRunner
 
 
 @dataclass
 class GREDTrace:
-    """Intermediate outputs of one GRED prediction (for analysis and the case study)."""
+    """Intermediate outputs of one GRED prediction (for analysis and the case study).
+
+    ``timings`` maps stage name (``generate`` / ``retune`` / ``debug``) to its
+    wall-clock seconds; it is excluded from equality so that traces produced by
+    the serial and batched paths compare identical.
+    """
 
     nlq: str
     dvq_gen: str
     dvq_rtn: str
     dvq_dbg: str
+    timings: Dict[str, float] = field(default_factory=dict, compare=False, repr=False)
 
     @property
     def final(self) -> str:
@@ -34,20 +43,40 @@ class GREDTrace:
 
 
 class GRED(TextToVisModel):
-    """GRED as a drop-in text-to-vis model."""
+    """GRED as a drop-in text-to-vis model.
+
+    The pipeline runs three LLM stages per question — *generate* (NLQ
+    retrieval), *retune* (DVQ retrieval) and *debug* (annotation-based column
+    repair) — over an embedding library built in :meth:`fit`.  Inference is
+    available per-question (:meth:`predict` / :meth:`trace`) or batched
+    through a :class:`~repro.runtime.runner.BatchRunner`
+    (:meth:`predict_batch` / :meth:`trace_batch`); with
+    ``config.use_llm_cache`` the chat model is wrapped in an
+    :class:`~repro.runtime.cache.LLMCache` so repeated prompts (shared
+    database annotations, duplicated variant questions) are answered from
+    memory.
+    """
 
     name = "GRED"
 
     def __init__(self, config: GREDConfig = GREDConfig(), llm: Optional[ChatModel] = None):
         self.config = config
         self.name = config.variant_name()
-        self.llm = llm or SimulatedChatModel()
+        base_llm = llm or SimulatedChatModel()
+        if config.use_llm_cache:
+            base_llm = LLMCache(base_llm, max_entries=config.llm_cache_max_entries)
+        self.llm = base_llm
         self.retriever = GREDRetriever(dimensions=config.embedder_dimensions)
         self.annotator = DatabaseAnnotator(self.llm, params=config.preparation_params)
         self.generator: Optional[NLQRetrievalGenerator] = None
         self.retuner: Optional[DVQRetrievalRetuner] = None
         self.debugger: Optional[AnnotationBasedDebugger] = None
         self._fitted = False
+
+    @property
+    def llm_cache(self) -> Optional[LLMCache]:
+        """The interposed completion cache, if ``config.use_llm_cache`` is set."""
+        return self.llm if isinstance(self.llm, LLMCache) else None
 
     # -- preparation ------------------------------------------------------------
 
@@ -78,21 +107,61 @@ class GRED(TextToVisModel):
     # -- inference -----------------------------------------------------------------
 
     def trace(self, nlq: str, database: Database) -> GREDTrace:
-        """Run the pipeline and keep every intermediate DVQ."""
+        """Run the pipeline and keep every intermediate DVQ plus stage timings."""
         if not self._fitted or self.generator is None:
             raise RuntimeError("GRED.predict called before fit")
+        timings: Dict[str, float] = {}
+        started = time.perf_counter()
         dvq_gen = self.generator.generate(nlq, database)
+        timings["generate"] = time.perf_counter() - started
         dvq_rtn = dvq_gen
         if self.config.use_retuner and self.retuner is not None and dvq_gen:
+            started = time.perf_counter()
             dvq_rtn = self.retuner.retune(dvq_gen)
+            timings["retune"] = time.perf_counter() - started
         dvq_dbg = dvq_rtn
         if self.config.use_debugger and self.debugger is not None and dvq_rtn:
+            started = time.perf_counter()
             dvq_dbg = self.debugger.debug(dvq_rtn, database)
-        return GREDTrace(nlq=nlq, dvq_gen=dvq_gen, dvq_rtn=dvq_rtn, dvq_dbg=dvq_dbg)
+            timings["debug"] = time.perf_counter() - started
+        return GREDTrace(nlq=nlq, dvq_gen=dvq_gen, dvq_rtn=dvq_rtn, dvq_dbg=dvq_dbg, timings=timings)
 
     def predict(self, nlq: str, database: Database) -> str:
         return self.trace(nlq, database).final
 
-    def predict_batch(self, examples: Sequence[NVBenchExample], catalog: Catalog) -> List[GREDTrace]:
-        """Traces for a list of examples (used by the experiment harness)."""
-        return [self.trace(example.nlq, catalog.get(example.db_id)) for example in examples]
+    def trace_batch(
+        self,
+        examples: Sequence[NVBenchExample],
+        catalog: Catalog,
+        runner: Optional[BatchRunner] = None,
+    ) -> BatchReport:
+        """Run :meth:`trace` over a dataset through a batch runner.
+
+        Returns the full :class:`~repro.runtime.runner.BatchReport`, which
+        preserves input order, isolates per-example failures and carries
+        per-example timings.  Without an explicit ``runner`` a serial
+        (``max_workers=1``) runner is used, making the result bit-identical to
+        looping over :meth:`trace`.
+        """
+        runner = runner or BatchRunner(max_workers=1)
+        return runner.run(
+            list(examples),
+            lambda example: self.trace(example.nlq, catalog.get(example.db_id)),
+        )
+
+    def predict_batch(
+        self,
+        examples: Sequence[NVBenchExample],
+        catalog: Catalog,
+        runner: Optional[BatchRunner] = None,
+    ) -> List[GREDTrace]:
+        """Traces for a list of examples (used by the experiment harness).
+
+        Routes through :meth:`trace_batch`; pass a
+        :class:`~repro.runtime.runner.BatchRunner` with ``max_workers > 1`` to
+        overlap LLM latency across examples.  Raises
+        :class:`~repro.runtime.runner.BatchFailure` if any example fails —
+        callers wanting failure isolation should use :meth:`trace_batch` and
+        inspect the report.
+        """
+        return self.trace_batch(examples, catalog, runner=runner).values(strict=True)

@@ -10,7 +10,16 @@ from repro.nvbench.example import NVBenchExample
 
 
 class GREDRetriever:
-    """Holds two vector stores: one over training NLQs, one over training DVQs."""
+    """Holds two vector stores: one over training NLQs, one over training DVQs.
+
+    :meth:`prepare` fits the shared embedder on the training corpus and
+    bulk-loads both libraries (one batch embedding per store, performed lazily
+    on first search).  At inference time :meth:`retrieve_by_nlq` serves the
+    NLQ-Retrieval Generator and :meth:`retrieve_by_dvq` the DVQ-Retrieval
+    Retuner; the ``*_many`` variants score a whole batch of queries in a
+    single matrix multiplication for callers that collect their queries up
+    front (the per-example pipeline stages issue single searches).
+    """
 
     def __init__(self, embedder: Optional[TextEmbedder] = None, dimensions: int = 512):
         self.embedder = embedder or TextEmbedder(EmbedderConfig(dimensions=dimensions))
@@ -31,9 +40,12 @@ class GREDRetriever:
         )
         self.nlq_store = VectorStore(self.embedder)
         self.dvq_store = VectorStore(self.embedder)
-        for example in examples:
-            self.nlq_store.add(example.example_id, example.nlq, example)
-            self.dvq_store.add(example.example_id, example.dvq, example)
+        self.nlq_store.add_many(
+            (example.example_id, example.nlq, example) for example in examples
+        )
+        self.dvq_store.add_many(
+            (example.example_id, example.dvq, example) for example in examples
+        )
         return self
 
     def retrieve_by_nlq(self, nlq: str, top_k: int) -> List[SearchHit]:
@@ -47,3 +59,15 @@ class GREDRetriever:
         if self.dvq_store is None:
             raise RuntimeError("GREDRetriever.retrieve_by_dvq called before prepare")
         return self.dvq_store.search(dvq, top_k=top_k)
+
+    def retrieve_by_nlq_many(self, nlqs: Sequence[str], top_k: int) -> List[List[SearchHit]]:
+        """Batched :meth:`retrieve_by_nlq`: one matmul scores every question."""
+        if self.nlq_store is None:
+            raise RuntimeError("GREDRetriever.retrieve_by_nlq_many called before prepare")
+        return self.nlq_store.search_many(nlqs, top_k=top_k)
+
+    def retrieve_by_dvq_many(self, dvqs: Sequence[str], top_k: int) -> List[List[SearchHit]]:
+        """Batched :meth:`retrieve_by_dvq`: one matmul scores every DVQ."""
+        if self.dvq_store is None:
+            raise RuntimeError("GREDRetriever.retrieve_by_dvq_many called before prepare")
+        return self.dvq_store.search_many(dvqs, top_k=top_k)

@@ -1,15 +1,22 @@
-"""A NumPy-backed vector store with cosine top-K retrieval.
+"""A NumPy-backed vector store with incremental indexing and cosine top-K.
 
 This is GRED's "embedding vector library": during the preparatory phase every
 training NLQ and DVQ is embedded and inserted with its payload (the full
 training example); at inference time the generator and retuner issue top-K
 queries against it.
+
+The store indexes **incrementally**: entries added since the last search are
+embedded in one batch call and appended to the existing matrix, instead of
+re-embedding the whole library on every invalidation.  Queries can also be
+batched — :meth:`VectorStore.search_many` scores all queries against the
+library in a single matrix multiplication.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Generic, List, Optional, Sequence, TypeVar
+from typing import Generic, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
@@ -28,7 +35,16 @@ class SearchHit(Generic[PayloadT]):
 
 
 class VectorStore(Generic[PayloadT]):
-    """An append-only store of (key, text, payload) triples with cosine search."""
+    """An append-only store of ``(key, text, payload)`` triples with cosine search.
+
+    Embedding is lazy and incremental: :meth:`add` and :meth:`add_many` only
+    record the entry; the next search embeds every not-yet-indexed text in one
+    ``embed_batch`` call and appends the new rows to the matrix.  Adding N
+    entries therefore costs one batch embedding, not N rebuilds of the full
+    library.  Searches are thread-safe (reads share an internal lock around
+    index maintenance), which lets a :class:`~repro.runtime.runner.BatchRunner`
+    issue queries from many workers against one shared store.
+    """
 
     def __init__(self, embedder: TextEmbedder):
         self.embedder = embedder
@@ -36,26 +52,56 @@ class VectorStore(Generic[PayloadT]):
         self._texts: List[str] = []
         self._payloads: List[PayloadT] = []
         self._matrix: Optional[np.ndarray] = None
+        self._indexed = 0  # number of leading entries already in the matrix
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._keys)
 
+    @property
+    def pending(self) -> int:
+        """Entries added since the last (re)index, awaiting batch embedding."""
+        return len(self._texts) - self._indexed
+
     def add(self, key: str, text: str, payload: PayloadT) -> None:
-        """Add one entry; the matrix is rebuilt lazily on the next search."""
-        self._keys.append(key)
-        self._texts.append(text)
-        self._payloads.append(payload)
-        self._matrix = None
+        """Add one entry; it is embedded lazily on the next search."""
+        with self._lock:
+            self._keys.append(key)
+            self._texts.append(text)
+            self._payloads.append(payload)
 
-    def add_many(self, entries: Sequence[tuple]) -> None:
-        """Add ``(key, text, payload)`` triples in bulk."""
-        for key, text, payload in entries:
-            self.add(key, text, payload)
+    def add_many(self, entries: Iterable[Tuple[str, str, PayloadT]]) -> None:
+        """Add ``(key, text, payload)`` triples in bulk from any iterable.
 
-    def _ensure_matrix(self) -> np.ndarray:
-        if self._matrix is None:
-            self._matrix = self.embedder.embed_batch(self._texts)
-        return self._matrix
+        All new texts are embedded together in a single batch call on the next
+        search, so bulk-loading a library costs one ``embed_batch`` instead of
+        per-entry work.
+        """
+        with self._lock:
+            for key, text, payload in entries:
+                self._keys.append(key)
+                self._texts.append(text)
+                self._payloads.append(payload)
+
+    def _ensure_matrix(self) -> Optional[np.ndarray]:
+        """Embed pending entries (one batch) and return the current matrix."""
+        with self._lock:
+            if self._indexed < len(self._texts):
+                new_rows = self.embedder.embed_batch(self._texts[self._indexed:])
+                if self._matrix is None or not len(self._matrix):
+                    self._matrix = new_rows
+                else:
+                    self._matrix = np.vstack([self._matrix, new_rows])
+                self._indexed = len(self._texts)
+            return self._matrix
+
+    def _hits_for_row(self, scores: np.ndarray, top_k: int) -> List[SearchHit[PayloadT]]:
+        top_k = min(top_k, len(scores))
+        best = np.argsort(-scores)[:top_k]
+        return [
+            SearchHit(key=self._keys[index], payload=self._payloads[index], score=float(scores[index]))
+            for index in best
+        ]
 
     def search(self, query: str, top_k: int = 10) -> List[SearchHit[PayloadT]]:
         """Return the ``top_k`` most similar entries to ``query`` (descending score)."""
@@ -63,13 +109,25 @@ class VectorStore(Generic[PayloadT]):
             return []
         matrix = self._ensure_matrix()
         query_vector = self.embedder.embed(query)
-        scores = matrix @ query_vector
-        top_k = min(top_k, len(self._keys))
-        best = np.argsort(-scores)[:top_k]
-        return [
-            SearchHit(key=self._keys[index], payload=self._payloads[index], score=float(scores[index]))
-            for index in best
-        ]
+        return self._hits_for_row(matrix @ query_vector, top_k)
+
+    def search_many(
+        self, queries: Sequence[str], top_k: int = 10
+    ) -> List[List[SearchHit[PayloadT]]]:
+        """Top-K results for every query, scored in one matrix multiplication.
+
+        Equivalent to ``[store.search(q, top_k) for q in queries]`` but embeds
+        the queries in one batch and computes all similarities as a single
+        ``(library, queries)`` matmul.
+        """
+        if not queries:
+            return []
+        if not self._keys or top_k <= 0:
+            return [[] for _ in queries]
+        matrix = self._ensure_matrix()
+        query_matrix = self.embedder.embed_batch(list(queries))
+        scores = matrix @ query_matrix.T  # (library, queries)
+        return [self._hits_for_row(scores[:, column], top_k) for column in range(len(queries))]
 
     def texts(self) -> List[str]:
         return list(self._texts)

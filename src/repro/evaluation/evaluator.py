@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.evaluation.metrics import EvaluationResult, compare_queries, evaluate_predictions
 from repro.nvbench.dataset import NVBenchDataset
 from repro.nvbench.example import NVBenchExample
+from repro.runtime.runner import BatchReport, BatchRunner
 
 
 @dataclass
@@ -30,11 +32,17 @@ class PredictionRecord:
 
 @dataclass
 class EvaluationRun:
-    """A full evaluation: per-example records plus the aggregate result."""
+    """A full evaluation: per-example records plus the aggregate result.
+
+    ``failure_count`` is the number of predictions that raised instead of
+    returning; those examples are scored as empty (always wrong) predictions,
+    so a nonzero value means the accuracies underestimate the model.
+    """
 
     model_name: str
     dataset_name: str
     records: List[PredictionRecord] = field(default_factory=list)
+    failure_count: int = 0
 
     @property
     def result(self) -> EvaluationResult:
@@ -53,10 +61,30 @@ class EvaluationRun:
 
 
 class ModelEvaluator:
-    """Evaluate any object exposing ``predict(nlq, database) -> str``."""
+    """Evaluate any object exposing ``predict(nlq, database) -> str``.
 
-    def __init__(self, limit: Optional[int] = None):
+    Predictions are executed through a
+    :class:`~repro.runtime.runner.BatchRunner`: with the default
+    ``max_workers=1`` the evaluation is a plain serial loop (bit-identical to
+    the historical behaviour); higher worker counts overlap model latency
+    across examples.  A prediction that raises is isolated — it is scored as
+    an empty (always wrong) prediction instead of aborting the run, with a
+    ``warnings.warn`` and the count surfaced on
+    :attr:`EvaluationRun.failure_count` — and the underlying
+    :class:`~repro.runtime.runner.BatchReport` of the last run is kept on
+    :attr:`last_report` for timing and failure inspection.
+    """
+
+    def __init__(
+        self,
+        limit: Optional[int] = None,
+        max_workers: int = 1,
+        runner: Optional[BatchRunner] = None,
+    ):
         self.limit = limit
+        self.max_workers = max_workers
+        self._runner = runner
+        self.last_report: Optional[BatchReport] = None
 
     def evaluate(self, model, dataset: NVBenchDataset, model_name: Optional[str] = None) -> EvaluationRun:
         """Run ``model`` over every example of ``dataset`` and score it."""
@@ -67,9 +95,25 @@ class ModelEvaluator:
             dataset_name=dataset.name,
         )
         examples = dataset.examples[: self.limit] if self.limit else dataset.examples
-        for example in examples:
-            database = dataset.catalog.get(example.db_id)
-            predicted = model.predict(example.nlq, database)
+        runner = self._runner or BatchRunner(max_workers=self.max_workers)
+        catalog = dataset.catalog
+
+        def predict_one(example: NVBenchExample) -> str:
+            return model.predict(example.nlq, catalog.get(example.db_id))
+
+        report = runner.run(examples, predict_one)
+        self.last_report = report
+        run.failure_count = report.failure_count
+        if report.failure_count:
+            first = report.failures()[0]
+            warnings.warn(
+                f"{report.failure_count}/{len(report.items)} predictions of "
+                f"{run.model_name} raised and were scored as wrong; first failure "
+                f"at example {first.index}: {first.error}",
+                stacklevel=2,
+            )
+        for example, item in zip(examples, report.items):
+            predicted = item.value if item.ok and item.value is not None else ""
             match = compare_queries(predicted, example.dvq)
             run.records.append(
                 PredictionRecord(

@@ -28,22 +28,42 @@ from repro.robustness.variants import RobustnessSuite, RobustnessSuiteBuilder, V
 
 @dataclass(frozen=True)
 class WorkbenchConfig:
-    """Scale and seeding of a workbench run.
+    """Scale, seeding and runtime knobs of a workbench run.
 
     ``scale=1.0`` reproduces the paper-scale corpus (~7.6k pairs, ~1.2k test
     pairs); benchmarks default to a smaller scale so a full table regenerates
     in seconds rather than minutes.
+
+    Attributes:
+        scale: fraction of the paper-scale corpus to generate.
+        seed: corpus seed; all downstream randomness derives from it.
+        evaluation_limit: cap on examples per evaluation run (``None`` = all).
+        gred_top_k: retrieval ``top_k`` used by the prepared GRED pipeline.
+        max_workers: worker threads for batched evaluation runs; ``1`` keeps
+            the historical serial loop (results are identical either way —
+            predictions are independent across examples).
+        llm_cache: prepare GRED with ``use_llm_cache`` so repeated completion
+            requests across variant test sets are served from memory.
     """
 
     scale: float = 0.15
     seed: int = 7
     evaluation_limit: Optional[int] = None
     gred_top_k: int = 10
+    max_workers: int = 1
+    llm_cache: bool = True
 
 
 @dataclass
 class Workbench:
-    """Lazily-constructed experiment state."""
+    """Lazily-constructed experiment state.
+
+    Corpus, robustness suite, trained baselines and the prepared GRED pipeline
+    are each built once on first use and cached on the instance.  Every
+    evaluation routes through :class:`~repro.evaluation.evaluator.ModelEvaluator`
+    and therefore the :mod:`repro.runtime` batch engine — see
+    :class:`WorkbenchConfig` for the ``max_workers`` / ``llm_cache`` knobs.
+    """
 
     config: WorkbenchConfig = field(default_factory=WorkbenchConfig)
     _dataset: Optional[NVBenchDataset] = None
@@ -80,9 +100,15 @@ class Workbench:
         return self._baselines
 
     def gred(self) -> GRED:
-        """The full GRED pipeline, prepared on the training split."""
+        """The full GRED pipeline, prepared on the training split.
+
+        With ``config.llm_cache`` (default) the pipeline's chat model is
+        wrapped in an :class:`~repro.runtime.cache.LLMCache`, so the four
+        variant test sets — which repeat databases and many prompts — reuse
+        completions instead of recomputing them.
+        """
         if self._gred is None:
-            model = GRED(GREDConfig(top_k=self.config.gred_top_k))
+            model = GRED(GREDConfig(top_k=self.config.gred_top_k, use_llm_cache=self.config.llm_cache))
             model.fit(self.dataset.train, self.dataset.catalog)
             self._gred = model
         return self._gred
@@ -98,7 +124,15 @@ class Workbench:
 
     def evaluate(self, model: TextToVisModel, dataset: NVBenchDataset,
                  model_name: Optional[str] = None) -> EvaluationRun:
-        evaluator = ModelEvaluator(limit=self.config.evaluation_limit)
+        """Score ``model`` on ``dataset`` through the batched runtime.
+
+        Uses ``config.max_workers`` evaluation workers; since every example is
+        predicted independently, worker count changes wall-clock time only,
+        never the resulting numbers.
+        """
+        evaluator = ModelEvaluator(
+            limit=self.config.evaluation_limit, max_workers=self.config.max_workers
+        )
         return evaluator.evaluate(model, dataset, model_name=model_name)
 
     def evaluate_on_variant(self, model: TextToVisModel, kind: VariantKind,

@@ -1,0 +1,139 @@
+"""A memoizing wrapper around any :class:`~repro.llm.interface.ChatModel`.
+
+GRED issues the same completion request many times across an experiment run:
+the annotation prompt for a database is shared by every test question on that
+database, and the robustness variant sets repeat NLQs with small edits whose
+retrieval prompts often collide.  :class:`LLMCache` sits between a pipeline
+stage and the underlying chat model and memoizes responses keyed on the full
+``(messages, params)`` request, so repeated requests cost a dictionary lookup
+instead of a completion call.
+
+The cache is thread-safe and transparent: attributes it does not define
+(``log``, ``lexicon``, ...) are delegated to the wrapped model, so code that
+inspects ``SimulatedChatModel.log`` keeps working when a cache is interposed.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.llm import markers
+from repro.llm.interface import ChatMessage, ChatModel, CompletionParams
+
+#: (behaviour name, prompt sentinel) in dispatch priority order — mirrors
+#: :meth:`repro.llm.simulated.SimulatedChatModel._dispatch` so cache statistics
+#: group by the same behaviour names the simulated model logs.
+_BEHAVIOUR_MARKERS = (
+    ("debug", markers.TASK_DEBUG),
+    ("retune", markers.TASK_RETUNE),
+    ("generation", markers.TASK_GENERATION),
+    ("annotation", markers.TASK_ANNOTATION),
+)
+
+CacheKey = Tuple[Tuple[Tuple[str, str], ...], CompletionParams]
+
+
+def behaviour_of(prompt: str) -> str:
+    """The pipeline behaviour a prompt belongs to (``"unknown"`` if none)."""
+    lowered = prompt.lower()
+    for name, marker in _BEHAVIOUR_MARKERS:
+        if marker.lower() in lowered:
+            return name
+    return "unknown"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, overall and per pipeline behaviour."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    by_behaviour: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def record(self, behaviour: str, hit: bool) -> None:
+        bucket = self.by_behaviour.setdefault(behaviour, {"hits": 0, "misses": 0})
+        if hit:
+            self.hits += 1
+            bucket["hits"] += 1
+        else:
+            self.misses += 1
+            bucket["misses"] += 1
+
+    def summary(self) -> str:
+        """One line suitable for progress logs and benchmark reports."""
+        return (
+            f"llm-cache: {self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate:.1%} hit rate, {self.evictions} evictions)"
+        )
+
+
+class LLMCache(ChatModel):
+    """Memoizes ``complete`` calls of an inner chat model.
+
+    Args:
+        inner: the chat model doing the real work on a cache miss.
+        max_entries: optional FIFO capacity bound; ``None`` means unbounded.
+
+    Two threads missing on the same key may both call ``inner`` (the lock is
+    released around the completion call so misses proceed concurrently); both
+    store the same deterministic response, so correctness is unaffected.
+    """
+
+    def __init__(self, inner: ChatModel, max_entries: Optional[int] = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1 or None (unbounded), got {max_entries}; "
+                "to disable caching, use the inner model directly"
+            )
+        self.inner = inner
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._cache: Dict[CacheKey, str] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __getattr__(self, name: str):
+        # Transparent delegation: expose the wrapped model's log, lexicon, ...
+        return getattr(self.inner, name)
+
+    @staticmethod
+    def _key(messages: Sequence[ChatMessage], params: CompletionParams) -> CacheKey:
+        return (tuple((message.role, message.content) for message in messages), params)
+
+    def complete(
+        self, messages: Sequence[ChatMessage], params: Optional[CompletionParams] = None
+    ) -> str:
+        params = params or CompletionParams()
+        key = self._key(messages, params)
+        behaviour = behaviour_of("\n".join(message.content for message in messages))
+        with self._lock:
+            if key in self._cache:
+                self.stats.record(behaviour, hit=True)
+                return self._cache[key]
+            self.stats.record(behaviour, hit=False)
+        response = self.inner.complete(messages, params=params)
+        with self._lock:
+            if self.max_entries is not None:
+                while len(self._cache) >= self.max_entries:
+                    self._cache.pop(next(iter(self._cache)))
+                    self.stats.evictions += 1
+            self._cache[key] = response
+        return response
+
+    def clear(self) -> None:
+        """Drop every cached response (statistics are kept)."""
+        with self._lock:
+            self._cache.clear()

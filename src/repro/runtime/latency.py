@@ -1,0 +1,41 @@
+"""A chat-model wrapper that simulates remote-endpoint latency.
+
+The simulated chat model answers in microseconds, which hides the property the
+batched runtime is built to exploit: against a real LLM endpoint almost all of
+a pipeline run is spent waiting on the network.  :class:`LatencyChatModel`
+re-introduces that wait as a fixed ``time.sleep`` per completion call (the
+sleep releases the GIL, exactly like a socket read), so throughput benchmarks
+measure realistic serial-vs-batched behaviour without any network access.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional, Sequence
+
+from repro.llm.interface import ChatMessage, ChatModel, CompletionParams
+
+
+class LatencyChatModel(ChatModel):
+    """Delegates to ``inner`` after sleeping ``seconds_per_call``."""
+
+    def __init__(self, inner: ChatModel, seconds_per_call: float = 0.02):
+        if seconds_per_call < 0:
+            raise ValueError("seconds_per_call must be non-negative")
+        self.inner = inner
+        self.seconds_per_call = seconds_per_call
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)
+
+    def complete(
+        self, messages: Sequence[ChatMessage], params: Optional[CompletionParams] = None
+    ) -> str:
+        with self._lock:
+            self.calls += 1
+        if self.seconds_per_call:
+            time.sleep(self.seconds_per_call)
+        return self.inner.complete(messages, params=params)

@@ -1,0 +1,52 @@
+"""Aggregation of per-stage wall-clock timings.
+
+``GRED.trace`` stamps each pipeline stage (``generate`` / ``retune`` /
+``debug``) with its duration; :func:`aggregate_stage_timings` folds those
+per-trace dictionaries into one :class:`StageStat` per stage so benchmarks and
+experiment reports can show where a run spent its time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping
+
+
+@dataclass
+class StageStat:
+    """Accumulated wall-clock time of one pipeline stage."""
+
+    count: int = 0
+    total_seconds: float = 0.0
+    max_seconds: float = 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self.total_seconds += seconds
+        self.max_seconds = max(self.max_seconds, seconds)
+
+
+def aggregate_stage_timings(
+    timings: Iterable[Mapping[str, float]]
+) -> Dict[str, StageStat]:
+    """Fold per-item ``{stage: seconds}`` mappings into per-stage statistics."""
+    stats: Dict[str, StageStat] = {}
+    for mapping in timings:
+        for stage, seconds in mapping.items():
+            stats.setdefault(stage, StageStat()).add(seconds)
+    return stats
+
+
+def format_stage_table(stats: Mapping[str, StageStat]) -> str:
+    """A small fixed-width table of stage timings for logs and benchmarks."""
+    lines = [f"{'stage':<12} {'count':>6} {'total s':>9} {'mean ms':>9} {'max ms':>9}"]
+    for stage, stat in sorted(stats.items(), key=lambda kv: -kv[1].total_seconds):
+        lines.append(
+            f"{stage:<12} {stat.count:>6} {stat.total_seconds:>9.3f} "
+            f"{stat.mean_seconds * 1e3:>9.2f} {stat.max_seconds * 1e3:>9.2f}"
+        )
+    return "\n".join(lines)
