@@ -4,10 +4,16 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-paper-scale quickstart
+.PHONY: test test-fast test-diff bench bench-paper-scale quickstart
 
 test:            ## tier-1 suite (tests/ + benchmarks/, fail fast)
 	$(PYTHON) -m pytest -x -q
+
+test-fast:       ## tests/ only, excluding benchmarks (quick pre-commit loop)
+	$(PYTHON) -m pytest tests -x -q
+
+test-diff:       ## cross-backend differential suite (interpreter vs SQLite)
+	$(PYTHON) -m pytest tests -q -m differential
 
 bench:           ## experiment harness only (tables, figures, runtime throughput)
 	$(PYTHON) -m pytest benchmarks -q -s

@@ -1,0 +1,92 @@
+"""Execution throughput — interpreter vs the DVQ->SQL SQLite backend.
+
+This benchmark is the perf baseline for the :mod:`repro.sql` subsystem.  A
+single 50k-row table is generated with
+:class:`~repro.database.datagen.DataGenerator`; a representative mix of DVQs
+(filters, group-bys, binning, top-k) is then executed by both engines and the
+wall-clock speed-up recorded.  SQLite pays a one-off bulk-load on its first
+query (included in its timing below), after which every execution runs at
+engine speed — the acceptance bar is a >= 2x end-to-end speed-up, and in
+practice the gap is one to two orders of magnitude.
+
+Both engines must also return identical (normalised) results for every
+benchmark query — throughput without equivalence would be meaningless.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.database import DataGenerator
+from repro.database.schema import ColumnType, build_schema
+from repro.dvq import parse_dvq
+from repro.executor import InterpreterBackend
+from repro.sql import SQLiteBackend
+
+ROW_COUNT = 50_000
+
+QUERIES = [
+    "Visualize BAR SELECT REGION , COUNT(*) FROM sales GROUP BY REGION",
+    "Visualize BAR SELECT REGION , AVG(AMOUNT) FROM sales WHERE AMOUNT > 500 GROUP BY REGION",
+    "Visualize LINE SELECT SOLD_ON , SUM(AMOUNT) FROM sales BIN SOLD_ON BY YEAR",
+    "Visualize BAR SELECT AMOUNT , COUNT(AMOUNT) FROM sales BIN AMOUNT BY INTERVAL",
+    "Visualize PIE SELECT PRODUCT , COUNT(*) FROM sales GROUP BY PRODUCT "
+    "ORDER BY COUNT(*) DESC LIMIT 5",
+]
+
+
+def _sales_database():
+    schema = build_schema(
+        "sales_bench",
+        [
+            (
+                "sales",
+                [
+                    ("SALE_ID", ColumnType.NUMBER, "id"),
+                    ("PRODUCT", ColumnType.TEXT, "product"),
+                    ("REGION", ColumnType.TEXT, "city"),
+                    ("AMOUNT", ColumnType.NUMBER, "price"),
+                    ("SOLD_ON", ColumnType.DATE, "date"),
+                ],
+            )
+        ],
+    )
+    return DataGenerator(seed=17).populate(schema, rows_per_table=ROW_COUNT)
+
+
+def _timed(backend, queries, database):
+    results = []
+    started = time.perf_counter()
+    for query in queries:
+        results.append(backend.execute(query, database))
+    return time.perf_counter() - started, results
+
+
+def test_sqlite_backend_is_at_least_2x_faster_on_50k_rows():
+    database = _sales_database()
+    queries = [parse_dvq(text) for text in QUERIES]
+    interpreter = InterpreterBackend()
+    sqlite = SQLiteBackend()
+
+    interpreter_seconds, expected = _timed(interpreter, queries, database)
+    # SQLite timing includes its one-off bulk load of the 50k rows
+    sqlite_seconds, actual = _timed(sqlite, queries, database)
+    warm_seconds, _ = _timed(sqlite, queries, database)
+
+    for query_text, left, right in zip(QUERIES, expected, actual):
+        assert left.columns == right.columns, query_text
+        assert left.rows == right.rows, query_text
+
+    speedup = interpreter_seconds / sqlite_seconds
+    warm_speedup = interpreter_seconds / warm_seconds
+    print(
+        f"\nsql backend throughput over {len(queries)} queries on a "
+        f"{ROW_COUNT:,}-row table:"
+    )
+    print(f"  interpreter:          {interpreter_seconds:.2f}s")
+    print(f"  sqlite (incl. load):  {sqlite_seconds:.2f}s  ({speedup:.1f}x)")
+    print(f"  sqlite (warm cache):  {warm_seconds:.3f}s  ({warm_speedup:.0f}x)")
+
+    # the acceptance bar: >= 2x even when paying the bulk load
+    assert speedup >= 2.0, f"sqlite backend only {speedup:.2f}x faster than the interpreter"
+    assert warm_speedup >= speedup

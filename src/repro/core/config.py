@@ -36,6 +36,15 @@ class GREDConfig:
         llm_cache_max_entries: optional FIFO capacity bound for the completion
             cache (``None`` = unbounded).  Only meaningful with
             ``use_llm_cache``.
+        verify_execution: after the debugger stage, execute the final DVQ
+            against the target database and record whether it materialises on
+            :attr:`~repro.core.pipeline.GREDTrace.executes` — the paper's
+            "no chart" check, off by default because it adds an execution per
+            prediction.
+        execution_backend: which engine runs the verification —
+            ``"interpreter"`` (the reference row-at-a-time executor) or
+            ``"sqlite"`` (the DVQ->SQL compiler over SQLite, see
+            :mod:`repro.sql`).  Only meaningful with ``verify_execution``.
     """
 
     top_k: int = 10
@@ -46,6 +55,8 @@ class GREDConfig:
     name: str = "GRED"
     use_llm_cache: bool = False
     llm_cache_max_entries: Optional[int] = None
+    verify_execution: bool = False
+    execution_backend: str = "interpreter"
 
     @property
     def preparation_params(self) -> CompletionParams:

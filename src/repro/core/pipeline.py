@@ -14,6 +14,8 @@ from repro.core.retriever import GREDRetriever
 from repro.core.retuner import DVQRetrievalRetuner
 from repro.database.catalog import Catalog
 from repro.database.database import Database
+from repro.dvq.normalize import try_parse
+from repro.executor.backend import ExecutionBackend, resolve_backend
 from repro.llm.interface import ChatModel
 from repro.llm.simulated import SimulatedChatModel
 from repro.models.base import TextToVisModel
@@ -26,9 +28,14 @@ from repro.runtime.runner import BatchReport, BatchRunner
 class GREDTrace:
     """Intermediate outputs of one GRED prediction (for analysis and the case study).
 
-    ``timings`` maps stage name (``generate`` / ``retune`` / ``debug``) to its
-    wall-clock seconds; it is excluded from equality so that traces produced by
-    the serial and batched paths compare identical.
+    ``timings`` maps stage name (``generate`` / ``retune`` / ``debug`` /
+    ``verify``) to its wall-clock seconds; it is excluded from equality so
+    that traces produced by the serial and batched paths compare identical.
+    ``executes`` is populated only with
+    :attr:`~repro.core.config.GREDConfig.verify_execution`: ``True`` when the
+    final DVQ parses and materialises against the target database on the
+    configured execution backend, ``False`` when it does not (the "no chart"
+    outcome), ``None`` when verification is off.
     """
 
     nlq: str
@@ -36,6 +43,7 @@ class GREDTrace:
     dvq_rtn: str
     dvq_dbg: str
     timings: Dict[str, float] = field(default_factory=dict, compare=False, repr=False)
+    executes: Optional[bool] = field(default=None, compare=False)
 
     @property
     def final(self) -> str:
@@ -71,6 +79,9 @@ class GRED(TextToVisModel):
         self.generator: Optional[NLQRetrievalGenerator] = None
         self.retuner: Optional[DVQRetrievalRetuner] = None
         self.debugger: Optional[AnnotationBasedDebugger] = None
+        self.execution_backend: Optional[ExecutionBackend] = (
+            resolve_backend(config.execution_backend) if config.verify_execution else None
+        )
         self._fitted = False
 
     @property
@@ -124,7 +135,22 @@ class GRED(TextToVisModel):
             started = time.perf_counter()
             dvq_dbg = self.debugger.debug(dvq_rtn, database)
             timings["debug"] = time.perf_counter() - started
-        return GREDTrace(nlq=nlq, dvq_gen=dvq_gen, dvq_rtn=dvq_rtn, dvq_dbg=dvq_dbg, timings=timings)
+        executes: Optional[bool] = None
+        if self.execution_backend is not None:
+            started = time.perf_counter()
+            parsed = try_parse(dvq_dbg)
+            executes = parsed is not None and self.execution_backend.can_execute(
+                parsed, database
+            )
+            timings["verify"] = time.perf_counter() - started
+        return GREDTrace(
+            nlq=nlq,
+            dvq_gen=dvq_gen,
+            dvq_rtn=dvq_rtn,
+            dvq_dbg=dvq_dbg,
+            timings=timings,
+            executes=executes,
+        )
 
     def predict(self, nlq: str, database: Database) -> str:
         return self.trace(nlq, database).final

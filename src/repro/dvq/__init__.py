@@ -42,6 +42,7 @@ from repro.dvq.components import (
     VisComponent,
     extract_components,
 )
+from repro.dvq.generate import RandomDVQGenerator
 from repro.dvq.normalize import normalize_dvq_text, queries_match
 
 __all__ = [
@@ -58,6 +59,7 @@ __all__ = [
     "DVQuery",
     "JoinClause",
     "OrderClause",
+    "RandomDVQGenerator",
     "SelectItem",
     "SortDirection",
     "Token",

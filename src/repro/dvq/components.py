@@ -51,6 +51,7 @@ class DataComponent:
     group_by: Tuple[str, ...]
     order_by: Optional[Tuple[str, str, str]]
     bin: Optional[Tuple[str, str]]
+    limit: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -130,5 +131,6 @@ def extract_components(query: DVQuery) -> QueryComponents:
         group_by=group_by,
         order_by=order_by,
         bin=bin_key,
+        limit=query.limit,
     )
     return QueryComponents(vis=vis, axis=axis, data=data)

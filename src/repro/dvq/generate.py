@@ -1,0 +1,373 @@
+"""Seeded random generation of well-formed DVQs over a database.
+
+:class:`RandomDVQGenerator` samples syntactically valid, executable queries
+from the *portable* DVQ subset — the fragment on which every execution
+backend is defined to agree (see :mod:`repro.executor.backend`):
+
+* bare select columns are always part of the grouping key (or the query is a
+  flat projection with no aggregation at all);
+* ORDER BY always targets a selected expression;
+* predicate literals are drawn from the filtered column's own values, so
+  comparisons never cross incompatible types;
+* LIKE patterns are prefix/suffix/contains fragments of real values, free of
+  embedded ``%`` / ``_`` wildcards.
+
+The generator is fully seeded: the same seed and database produce the same
+query sequence, which keeps the differential suite
+(``tests/test_sql_differential.py``) and the round-trip property tests
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.database.database import Database
+from repro.database.schema import Column, ColumnType
+from repro.dvq.nodes import (
+    AggregateExpr,
+    AggregateFunction,
+    BinClause,
+    BinUnit,
+    ChartType,
+    ColumnRef,
+    Condition,
+    DVQuery,
+    JoinClause,
+    OrderClause,
+    SelectItem,
+    SortDirection,
+    WhereClause,
+)
+
+#: Chart families by channel count.
+_TWO_CHANNEL = (ChartType.BAR, ChartType.PIE, ChartType.LINE, ChartType.SCATTER)
+_THREE_CHANNEL = (
+    ChartType.STACKED_BAR,
+    ChartType.GROUPING_LINE,
+    ChartType.GROUPING_SCATTER,
+)
+
+
+class _ScopedColumn:
+    """A column reachable from the query, with its owning table context."""
+
+    def __init__(self, column: Column, table_name: str, qualifier: Optional[str]):
+        self.column = column
+        self.table_name = table_name  # real table name, for data lookups
+        self.qualifier = qualifier  # alias (or table name) to qualify refs with
+
+    def ref(self, rng: random.Random, qualify_probability: float) -> ColumnRef:
+        if self.qualifier and rng.random() < qualify_probability:
+            return ColumnRef(column=self.column.name, table=self.qualifier)
+        return ColumnRef(column=self.column.name)
+
+
+class RandomDVQGenerator:
+    """Sample executable DVQs from the portable subset, deterministically.
+
+    Args:
+        seed: seeds the internal RNG; the query sequence is a pure function
+            of (seed, database).
+        join_probability: chance of following a foreign key into a join when
+            the schema offers one.
+        where_probability: chance of attaching a WHERE clause.
+        order_probability: chance of attaching an ORDER BY clause.
+        limit_probability: chance of attaching a LIMIT (top-k) clause.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        join_probability: float = 0.4,
+        where_probability: float = 0.6,
+        order_probability: float = 0.5,
+        limit_probability: float = 0.25,
+    ):
+        self._rng = random.Random(seed)
+        self.join_probability = join_probability
+        self.where_probability = where_probability
+        self.order_probability = order_probability
+        self.limit_probability = limit_probability
+
+    # -- public API ---------------------------------------------------------
+
+    def generate(self, database: Database) -> DVQuery:
+        """Sample one executable DVQ against ``database``."""
+        rng = self._rng
+        table, alias, joins, columns, qualify_probability = self._choose_tables(database)
+        shape = rng.random()
+        if shape < 0.2:
+            query = self._flat_query(rng, database, table, alias, joins, columns, qualify_probability)
+        elif shape < 0.45 and self._binnable(columns):
+            query = self._binned_query(rng, database, table, alias, joins, columns, qualify_probability)
+        else:
+            query = self._aggregate_query(rng, database, table, alias, joins, columns, qualify_probability)
+        return query
+
+    def generate_many(self, database: Database, count: int) -> List[DVQuery]:
+        """Sample ``count`` queries (the sequence is seed-deterministic)."""
+        return [self.generate(database) for _ in range(count)]
+
+    # -- table / scope selection --------------------------------------------
+
+    def _choose_tables(self, database: Database):
+        rng = self._rng
+        schema = database.schema
+        foreign_keys = schema.joinable_pairs()
+        joins: List[JoinClause] = []
+        alias: Optional[str] = None
+        if foreign_keys and rng.random() < self.join_probability:
+            fk = rng.choice(foreign_keys)
+            primary_name, joined_name = fk.table, fk.ref_table
+            left_col, right_col = fk.column, fk.ref_column
+            use_aliases = rng.random() < 0.5
+            alias = "T1" if use_aliases else None
+            join_alias = "T2" if use_aliases else None
+            primary_qualifier = alias or primary_name
+            joined_qualifier = join_alias or joined_name
+            # occasionally qualify by the underlying table name even when
+            # aliased — the interpreter tolerates it and the compiler must too
+            if use_aliases and rng.random() < 0.2:
+                primary_qualifier = primary_name
+            joins.append(
+                JoinClause(
+                    table=joined_name,
+                    left=ColumnRef(column=left_col, table=primary_qualifier),
+                    right=ColumnRef(column=right_col, table=joined_qualifier),
+                    alias=join_alias,
+                )
+            )
+            columns = self._scope_columns(schema, primary_name, alias)
+            columns += self._scope_columns(schema, joined_name, join_alias)
+            return primary_name, alias, joins, columns, 0.8
+        table = rng.choice(schema.tables).name
+        if rng.random() < 0.15:
+            alias = "T1"
+        columns = self._scope_columns(schema, table, alias)
+        return table, alias, joins, columns, 0.3
+
+    def _scope_columns(self, schema, table_name: str, alias: Optional[str]) -> List[_ScopedColumn]:
+        table = schema.table(table_name)
+        qualifier = alias or table.name
+        return [_ScopedColumn(column, table.name, qualifier) for column in table.columns]
+
+    # -- query shapes -------------------------------------------------------
+
+    def _aggregate_query(self, rng, database, table, alias, joins, columns, qualify_probability) -> DVQuery:
+        x_pool = [c for c in columns if c.column.ctype in (ColumnType.TEXT, ColumnType.BOOLEAN)]
+        x_pool = x_pool or columns
+        x = rng.choice(x_pool)
+        x_ref = x.ref(rng, qualify_probability)
+        y_item = SelectItem(self._aggregate_expr(rng, columns, qualify_probability))
+        select = [SelectItem(x_ref), y_item]
+        group_by = [x_ref]
+        chart = rng.choice(_TWO_CHANNEL)
+        color_pool = [
+            c
+            for c in columns
+            if c.column.ctype is ColumnType.TEXT and c.column.name != x.column.name
+        ]
+        if color_pool and rng.random() < 0.25:
+            color = rng.choice(color_pool)
+            color_ref = color.ref(rng, qualify_probability)
+            select.append(SelectItem(color_ref))
+            group_by.append(color_ref)
+            chart = rng.choice(_THREE_CHANNEL)
+        return self._finish(
+            rng, database, chart, select, table, alias, joins, columns,
+            group_by=group_by, bin_clause=None, qualify_probability=qualify_probability,
+        )
+
+    def _binned_query(self, rng, database, table, alias, joins, columns, qualify_probability) -> DVQuery:
+        date_cols = [c for c in columns if c.column.ctype is ColumnType.DATE]
+        number_cols = [c for c in columns if c.column.ctype is ColumnType.NUMBER]
+        if date_cols and (not number_cols or rng.random() < 0.6):
+            target = rng.choice(date_cols)
+            unit = rng.choice((BinUnit.YEAR, BinUnit.MONTH, BinUnit.WEEKDAY))
+        else:
+            target = rng.choice(number_cols)
+            unit = rng.choice((BinUnit.INTERVAL, BinUnit.YEAR))
+        x_ref = target.ref(rng, qualify_probability)
+        select = [SelectItem(x_ref), SelectItem(self._aggregate_expr(rng, columns, qualify_probability))]
+        chart = rng.choice((ChartType.BAR, ChartType.LINE))
+        return self._finish(
+            rng, database, chart, select, table, alias, joins, columns,
+            group_by=[], bin_clause=BinClause(column=x_ref, unit=unit),
+            qualify_probability=qualify_probability,
+        )
+
+    def _flat_query(self, rng, database, table, alias, joins, columns, qualify_probability) -> DVQuery:
+        count = 3 if rng.random() < 0.2 and len(columns) >= 3 else 2
+        picked = rng.sample(columns, min(count, len(columns)))
+        select = [SelectItem(c.ref(rng, qualify_probability)) for c in picked]
+        chart = rng.choice(_THREE_CHANNEL) if len(select) >= 3 else rng.choice(_TWO_CHANNEL)
+        return self._finish(
+            rng, database, chart, select, table, alias, joins, columns,
+            group_by=[], bin_clause=None, qualify_probability=qualify_probability,
+        )
+
+    def _aggregate_expr(self, rng, columns, qualify_probability) -> AggregateExpr:
+        number_cols = [c for c in columns if c.column.ctype is ColumnType.NUMBER]
+        date_cols = [c for c in columns if c.column.ctype is ColumnType.DATE]
+        roll = rng.random()
+        if roll < 0.3 or not number_cols:
+            if roll < 0.1:
+                return AggregateExpr(
+                    function=AggregateFunction.COUNT, argument=ColumnRef(column="*")
+                )
+            target = rng.choice(columns)
+            return AggregateExpr(
+                function=AggregateFunction.COUNT,
+                argument=target.ref(rng, qualify_probability),
+                distinct=rng.random() < 0.3,
+            )
+        if roll < 0.8:
+            function = rng.choice((AggregateFunction.SUM, AggregateFunction.AVG))
+            target = rng.choice(number_cols)
+        else:
+            function = rng.choice((AggregateFunction.MIN, AggregateFunction.MAX))
+            target = rng.choice(number_cols + date_cols)
+        return AggregateExpr(function=function, argument=target.ref(rng, qualify_probability))
+
+    # -- clauses ------------------------------------------------------------
+
+    def _finish(
+        self, rng, database, chart, select, table, alias, joins, columns,
+        group_by, bin_clause, qualify_probability,
+    ) -> DVQuery:
+        where = None
+        if rng.random() < self.where_probability:
+            where = self._where(rng, database, columns, qualify_probability)
+        order_by = None
+        if rng.random() < self.order_probability:
+            item = rng.choice(select)
+            order_by = OrderClause(
+                expr=item.expr,
+                direction=rng.choice((SortDirection.ASC, SortDirection.DESC)),
+            )
+        limit = rng.randint(1, 8) if rng.random() < self.limit_probability else None
+        return DVQuery(
+            chart_type=chart,
+            select=tuple(select),
+            table=table,
+            table_alias=alias,
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            order_by=order_by,
+            bin=bin_clause,
+            limit=limit,
+        )
+
+    def _where(self, rng, database, columns, qualify_probability) -> Optional[WhereClause]:
+        count = 1 if rng.random() < 0.7 else 2
+        conditions = []
+        for _ in range(count):
+            condition = self._condition(rng, database, columns, qualify_probability)
+            if condition is not None:
+                conditions.append(condition)
+        if not conditions:
+            return None
+        connectors = tuple(
+            rng.choice(("AND", "OR")) for _ in range(len(conditions) - 1)
+        )
+        return WhereClause(conditions=tuple(conditions), connectors=connectors)
+
+    def _condition(self, rng, database, columns, qualify_probability) -> Optional[Condition]:
+        scoped = rng.choice(columns)
+        ref = scoped.ref(rng, qualify_probability)
+        values = [
+            value
+            for value in database.table(scoped.table_name).column_values(scoped.column.name)
+            if value is not None
+        ]
+        ctype = scoped.column.ctype
+        if not values:
+            return Condition(column=ref, operator="IS NULL", negated=rng.random() < 0.5)
+        if ctype is ColumnType.NUMBER:
+            return self._numeric_condition(rng, ref, values)
+        if ctype is ColumnType.DATE:
+            return self._date_condition(rng, ref, values)
+        if ctype is ColumnType.BOOLEAN:
+            return Condition(column=ref, operator="=", value=int(rng.choice(values)))
+        return self._text_condition(rng, ref, values)
+
+    def _numeric_condition(self, rng, ref, values) -> Condition:
+        roll = rng.random()
+        if roll < 0.5:
+            operator = rng.choice(("=", "!=", "<", "<=", ">", ">="))
+            return Condition(column=ref, operator=operator, value=rng.choice(values))
+        if roll < 0.8:
+            low, high = sorted((rng.choice(values), rng.choice(values)))
+            return Condition(column=ref, operator="BETWEEN", value=low, value2=high)
+        picked = self._sample_values(rng, values)
+        return Condition(
+            column=ref, operator="IN", value=picked, negated=rng.random() < 0.3
+        )
+
+    def _date_condition(self, rng, ref, values) -> Condition:
+        roll = rng.random()
+        if roll < 0.5:
+            operator = rng.choice(("<", "<=", ">", ">=", "=", "!="))
+            return Condition(column=ref, operator=operator, value=rng.choice(values))
+        low, high = sorted((rng.choice(values), rng.choice(values)))
+        return Condition(column=ref, operator="BETWEEN", value=low, value2=high)
+
+    def _text_condition(self, rng, ref, values) -> Condition:
+        roll = rng.random()
+        if roll < 0.35:
+            value = rng.choice(values)
+            if rng.random() < 0.3:
+                value = rng.choice((value.upper(), value.lower()))
+            return Condition(
+                column=ref, operator=rng.choice(("=", "!=")), value=value
+            )
+        if roll < 0.6:
+            pattern = self._like_pattern(rng, str(rng.choice(values)))
+            return Condition(
+                column=ref, operator="LIKE", value=pattern, negated=rng.random() < 0.3
+            )
+        if roll < 0.85:
+            picked = self._sample_values(rng, values)
+            return Condition(
+                column=ref, operator="IN", value=picked, negated=rng.random() < 0.3
+            )
+        return Condition(column=ref, operator="IS NULL", negated=rng.random() < 0.5)
+
+    def _like_pattern(self, rng, value: str) -> str:
+        fragment = value[:3] if len(value) >= 3 else value
+        style = rng.random()
+        if style < 0.33:
+            fragment = value[:3] or value
+            pattern = f"{fragment}%"
+        elif style < 0.66:
+            fragment = value[-3:] or value
+            pattern = f"%{fragment}"
+        else:
+            middle = value[1:4] or value
+            pattern = f"%{middle}%"
+        if rng.random() < 0.3:
+            pattern = pattern.lower()
+        # the portable subset forbids inner wildcards; real pool values never
+        # contain % or _, but guard against surprises
+        return pattern.replace("_", " ")
+
+    def _sample_values(self, rng, values: Sequence[object]) -> Tuple[object, ...]:
+        distinct = list(dict.fromkeys(values))
+        count = min(len(distinct), rng.randint(2, 3))
+        picked = rng.sample(distinct, count)
+        # occasionally include a NULL literal — it matches NULL rows under IN
+        # and drops them under NOT IN, a semantics corner both backends must
+        # share
+        if rng.random() < 0.15:
+            picked.append(None)
+        return tuple(picked)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _binnable(self, columns: Sequence[_ScopedColumn]) -> bool:
+        return any(
+            c.column.ctype in (ColumnType.DATE, ColumnType.NUMBER) for c in columns
+        )

@@ -172,6 +172,8 @@ class Condition:
 
 
 def _render_literal(value: object) -> str:
+    if value is None:
+        return "NULL"
     if isinstance(value, str):
         return f"'{value}'"
     if isinstance(value, bool):
@@ -262,7 +264,13 @@ class BinClause:
 
 @dataclass(frozen=True)
 class DVQuery:
-    """A complete Data Visualization Query."""
+    """A complete Data Visualization Query.
+
+    ``limit`` is the optional top-k clause (``LIMIT n``): after ordering, only
+    the first ``n`` rows are materialised.  Because a top-k cut must pick the
+    same rows on every execution engine, executors apply a deterministic
+    canonical ordering (see :mod:`repro.executor.ordering`) before slicing.
+    """
 
     chart_type: ChartType
     select: Sequence[SelectItem]
@@ -273,10 +281,13 @@ class DVQuery:
     group_by: Sequence[ColumnRef] = field(default_factory=tuple)
     order_by: Optional[OrderClause] = None
     bin: Optional[BinClause] = None
+    limit: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.select:
             raise ValueError("A DVQuery must select at least one expression")
+        if self.limit is not None and self.limit < 0:
+            raise ValueError(f"LIMIT must be non-negative, got {self.limit}")
 
     @property
     def x(self) -> SelectItem:

@@ -88,6 +88,7 @@ def parse_dvq(text: str) -> DVQuery:
     group_by = _parse_group_by(stream)
     order_by = _parse_order_by(stream)
     bin_clause = _parse_bin(stream)
+    limit = _parse_limit(stream)
     # clauses may legitimately appear in either order in nvBench-style queries
     if where is None and stream.current.is_keyword("WHERE"):
         where = _parse_where(stream)
@@ -97,6 +98,8 @@ def parse_dvq(text: str) -> DVQuery:
         bin_clause = _parse_bin(stream)
     if not group_by and stream.current.is_keyword("GROUP"):
         group_by = _parse_group_by(stream)
+    if limit is None and stream.current.is_keyword("LIMIT"):
+        limit = _parse_limit(stream)
     if not stream.at_end():
         raise DVQParseError(
             f"Unexpected trailing input starting at {stream.current.lexeme!r}",
@@ -112,6 +115,7 @@ def parse_dvq(text: str) -> DVQuery:
         group_by=tuple(group_by),
         order_by=order_by,
         bin=bin_clause,
+        limit=limit,
     )
 
 
@@ -303,6 +307,18 @@ def _parse_order_by(stream: _TokenStream) -> Optional[OrderClause]:
     if stream.current.is_keyword("ASC", "DESC"):
         direction = SortDirection(stream.advance().value)
     return OrderClause(expr=expr, direction=direction)
+
+
+def _parse_limit(stream: _TokenStream) -> Optional[int]:
+    if not stream.current.is_keyword("LIMIT"):
+        return None
+    keyword = stream.advance()
+    token = stream.expect(TokenType.NUMBER)
+    if "." in token.value or token.value.startswith("-"):
+        raise DVQParseError(
+            f"LIMIT expects a non-negative integer, found {token.lexeme!r}", token=keyword
+        )
+    return int(token.value)
 
 
 def _parse_bin(stream: _TokenStream) -> Optional[BinClause]:

@@ -33,4 +33,6 @@ def serialize_dvq(query: DVQuery) -> str:
         parts.append(query.order_by.render())
     if query.bin is not None:
         parts.append(query.bin.render())
+    if query.limit is not None:
+        parts.append(f"LIMIT {query.limit}")
     return " ".join(parts)

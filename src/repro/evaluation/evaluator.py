@@ -6,7 +6,9 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.dvq.normalize import try_parse
 from repro.evaluation.metrics import EvaluationResult, compare_queries, evaluate_predictions
+from repro.executor.backend import BackendSpec, ExecutionBackend, resolve_backend
 from repro.nvbench.dataset import NVBenchDataset
 from repro.nvbench.example import NVBenchExample
 from repro.runtime.runner import BatchReport, BatchRunner
@@ -14,7 +16,13 @@ from repro.runtime.runner import BatchReport, BatchRunner
 
 @dataclass
 class PredictionRecord:
-    """One model prediction with its gold reference and component matches."""
+    """One model prediction with its gold reference and component matches.
+
+    ``executes`` is populated only when the evaluator was given an
+    ``execution_backend``: ``True`` when the predicted DVQ parses and
+    materialises against its database (i.e. produces a chart), ``False``
+    otherwise, ``None`` when the execution check was not run.
+    """
 
     example_id: str
     db_id: str
@@ -24,6 +32,7 @@ class PredictionRecord:
     vis_correct: bool
     axis_correct: bool
     data_correct: bool
+    executes: Optional[bool] = None
 
     @property
     def overall_correct(self) -> bool:
@@ -47,6 +56,20 @@ class EvaluationRun:
     @property
     def result(self) -> EvaluationResult:
         return evaluate_predictions((record.predicted, record.target) for record in self.records)
+
+    @property
+    def execution_rate(self) -> Optional[float]:
+        """Fraction of checked predictions that execute (``None`` if unchecked).
+
+        Only meaningful when the evaluator ran with an ``execution_backend``;
+        this is the executability counterpart of exact-match accuracy — the
+        share of predictions that produce *a* chart rather than the "no
+        chart" failure mode.
+        """
+        checked = [record for record in self.records if record.executes is not None]
+        if not checked:
+            return None
+        return sum(1 for record in checked if record.executes) / len(checked)
 
     def errors(self) -> List[PredictionRecord]:
         return [record for record in self.records if not record.overall_correct]
@@ -73,6 +96,14 @@ class ModelEvaluator:
     :attr:`EvaluationRun.failure_count` — and the underlying
     :class:`~repro.runtime.runner.BatchReport` of the last run is kept on
     :attr:`last_report` for timing and failure inspection.
+
+    With ``execution_backend`` set (a backend name — ``"interpreter"`` /
+    ``"sqlite"`` — or an :class:`~repro.executor.backend.ExecutionBackend`
+    instance), every prediction is additionally executed against its target
+    database and :attr:`PredictionRecord.executes` /
+    :attr:`EvaluationRun.execution_rate` report whether it materialises a
+    chart.  The backend instance is kept across runs, so the SQLite engine
+    loads each database once per evaluator.
     """
 
     def __init__(
@@ -80,10 +111,14 @@ class ModelEvaluator:
         limit: Optional[int] = None,
         max_workers: int = 1,
         runner: Optional[BatchRunner] = None,
+        execution_backend: Optional[BackendSpec] = None,
     ):
         self.limit = limit
         self.max_workers = max_workers
         self._runner = runner
+        self.execution_backend: Optional[ExecutionBackend] = (
+            resolve_backend(execution_backend) if execution_backend is not None else None
+        )
         self.last_report: Optional[BatchReport] = None
 
     def evaluate(self, model, dataset: NVBenchDataset, model_name: Optional[str] = None) -> EvaluationRun:
@@ -115,6 +150,12 @@ class ModelEvaluator:
         for example, item in zip(examples, report.items):
             predicted = item.value if item.ok and item.value is not None else ""
             match = compare_queries(predicted, example.dvq)
+            executes: Optional[bool] = None
+            if self.execution_backend is not None:
+                parsed = try_parse(predicted)
+                executes = parsed is not None and self.execution_backend.can_execute(
+                    parsed, catalog.get(example.db_id)
+                )
             run.records.append(
                 PredictionRecord(
                     example_id=example.example_id,
@@ -125,6 +166,7 @@ class ModelEvaluator:
                     vis_correct=match.vis,
                     axis_correct=match.axis,
                     data_correct=match.data,
+                    executes=executes,
                 )
             )
         return run

@@ -1,20 +1,42 @@
 """Execution engine for DVQs over the in-memory relational substrate.
 
 The executor materialises the data series behind a chart: it evaluates the
-FROM/JOIN/WHERE/GROUP BY/ORDER BY/BIN parts of a DVQ against a
+FROM/JOIN/WHERE/GROUP BY/ORDER BY/BIN/LIMIT parts of a DVQ against a
 :class:`repro.database.Database` and returns the projected rows.  It is the
 substrate behind chart rendering (Table 5 / Figure 5 case study) and behind
 execution-based sanity checks in the benchmark suite.
+
+Execution is pluggable: :class:`ExecutionBackend` is the engine contract,
+implemented by the row-at-a-time :class:`InterpreterBackend` here and by
+:class:`repro.sql.SQLiteBackend`, which compiles DVQs to SQL and runs them on
+SQLite.  ``resolve_backend("interpreter" | "sqlite")`` is the factory used by
+the configuration knobs; :func:`normalize_result` is the cross-engine
+normalisation making both backends return identical results.
 """
 
+from repro.executor.backend import (
+    ExecutionBackend,
+    InterpreterBackend,
+    canonical_value,
+    normalize_result,
+    resolve_backend,
+)
 from repro.executor.errors import ExecutionError
 from repro.executor.executor import DVQExecutor, ExecutionResult
 from repro.executor.functions import AGGREGATE_FUNCTIONS, apply_aggregate
+from repro.executor.ordering import canonical_order, order_index
 
 __all__ = [
     "AGGREGATE_FUNCTIONS",
     "DVQExecutor",
+    "ExecutionBackend",
     "ExecutionError",
     "ExecutionResult",
+    "InterpreterBackend",
     "apply_aggregate",
+    "canonical_order",
+    "canonical_value",
+    "normalize_result",
+    "order_index",
+    "resolve_backend",
 ]

@@ -1,0 +1,144 @@
+"""Pluggable execution backends and cross-engine result normalisation.
+
+A DVQ can be materialised by more than one engine: the pure-Python
+row-at-a-time interpreter (:class:`~repro.executor.executor.DVQExecutor`) or
+the SQL compiler + SQLite engine in :mod:`repro.sql`.  This module defines the
+contract they share (:class:`ExecutionBackend`), the normalisation that makes
+their results comparable value-for-value (:func:`normalize_result`), and a
+small factory (:func:`resolve_backend`) that configuration layers use to turn
+a backend name into an instance.
+
+Two normalised results from different engines are identical for every query in
+the *portable* DVQ subset — the differential suite
+(``tests/test_sql_differential.py``) enforces this.  The subset excludes only
+constructs whose semantics SQL itself leaves unspecified (bare select columns
+outside the grouping key, ORDER BY expressions absent from the select list)
+or that compare values across incompatible types.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+try:  # Protocol is 3.8+, runtime_checkable decorates it for isinstance checks
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - ancient pythons
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+from repro.database.database import Database
+from repro.dvq.nodes import DVQuery
+from repro.executor.errors import ExecutionError
+from repro.executor.executor import DVQExecutor, ExecutionResult
+from repro.executor.ordering import canonical_order
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """The execution-engine contract shared by the interpreter and SQLite.
+
+    Implementations materialise a parsed :class:`~repro.dvq.nodes.DVQuery`
+    against a :class:`~repro.database.database.Database` into a normalised
+    :class:`~repro.executor.executor.ExecutionResult`, raising
+    :class:`~repro.executor.errors.ExecutionError` for queries that reference
+    missing tables or columns (the paper's "no chart" failure mode).
+    """
+
+    name: str
+
+    def execute(self, query: DVQuery, database: Database) -> ExecutionResult:
+        ...  # pragma: no cover - protocol stub
+
+    def can_execute(self, query: DVQuery, database: Database) -> bool:
+        ...  # pragma: no cover - protocol stub
+
+
+def canonical_value(value: object) -> object:
+    """Coerce ``value`` to its canonical cross-engine form.
+
+    SQLite has no boolean storage class (``True`` comes back as ``1``) and
+    keeps integer sums integral where the interpreter's float-based aggregates
+    produce ``6.0``; rounding to 9 decimal places absorbs any accumulation
+    order difference in float aggregates.
+    """
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, float):
+        if value.is_integer():
+            return int(value)
+        return round(value, 9)
+    return value
+
+
+def normalize_result(result: ExecutionResult, query: DVQuery) -> ExecutionResult:
+    """Return ``result`` with canonical values and canonical row order.
+
+    Both backends funnel their raw output through this function, so results
+    compare equal across engines: values are coerced via
+    :func:`canonical_value` and rows are re-sorted into the deterministic
+    order of :func:`repro.executor.ordering.canonical_order` (which respects
+    the query's ORDER BY while fixing tie order).
+    """
+    rows: List[Tuple[object, ...]] = [
+        tuple(canonical_value(value) for value in row) for row in result.rows
+    ]
+    rows = canonical_order(rows, query)
+    return ExecutionResult(
+        columns=list(result.columns), rows=rows, chart_type=result.chart_type
+    )
+
+
+class InterpreterBackend:
+    """The seed row-at-a-time interpreter behind the backend protocol.
+
+    Wraps a :class:`~repro.executor.executor.DVQExecutor` and normalises its
+    output; it is the reference oracle the SQLite backend is differentially
+    tested against.
+    """
+
+    name = "interpreter"
+
+    def __init__(self, bin_interval: int = 100, normalize: bool = True):
+        self._executor = DVQExecutor(bin_interval=bin_interval)
+        self.normalize = normalize
+
+    def execute(self, query: DVQuery, database: Database) -> ExecutionResult:
+        result = self._executor.execute(query, database)
+        if self.normalize:
+            result = normalize_result(result, query)
+        return result
+
+    def can_execute(self, query: DVQuery, database: Database) -> bool:
+        try:
+            self.execute(query, database)
+        except ExecutionError:
+            return False
+        return True
+
+
+#: Accepted by every ``execution_backend`` knob: a backend name or an instance.
+BackendSpec = Union[str, ExecutionBackend]
+
+
+def resolve_backend(spec: BackendSpec) -> ExecutionBackend:
+    """Turn a backend name (``"interpreter"`` / ``"sqlite"``) into an instance.
+
+    Backend instances pass through unchanged, so callers can hand in a
+    pre-configured (and pre-warmed) backend.  The SQLite backend is imported
+    lazily to keep :mod:`repro.executor` free of a hard dependency on
+    :mod:`repro.sql`.
+    """
+    if not isinstance(spec, str):
+        return spec
+    name = spec.strip().lower()
+    if name == "interpreter":
+        return InterpreterBackend()
+    if name == "sqlite":
+        from repro.sql.backend import SQLiteBackend
+
+        return SQLiteBackend()
+    raise ValueError(
+        f"Unknown execution backend {spec!r}; expected 'interpreter' or 'sqlite'"
+    )

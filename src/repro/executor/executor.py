@@ -15,6 +15,7 @@ from repro.dvq.nodes import (
 from repro.executor.binning import bin_value
 from repro.executor.errors import ExecutionError
 from repro.executor.functions import apply_aggregate
+from repro.executor.ordering import canonical_order, order_index
 from repro.executor.predicates import evaluate_where
 
 
@@ -42,7 +43,19 @@ class ExecutionResult:
         return [row[0] for row in self.rows]
 
     def y_values(self) -> List[object]:
-        return [row[1] if len(row) > 1 else None for row in self.rows]
+        """Values of the y column (the second output column).
+
+        Raises:
+            ValueError: when the result has fewer than two columns — a
+                single-channel result has no y series, and silently yielding
+                ``None`` hid axis mistakes from callers.
+        """
+        if len(self.columns) < 2:
+            raise ValueError(
+                f"Result has no y column (columns: {self.columns!r}); "
+                "y_values requires at least two output columns"
+            )
+        return [row[1] for row in self.rows]
 
 
 class _RowContext:
@@ -93,7 +106,12 @@ class DVQExecutor:
             rows = self._execute_grouped(query, contexts)
         else:
             rows = self._execute_flat(query, contexts)
-        rows = self._apply_order(query, rows)
+        if query.limit is not None:
+            # a top-k cut must be engine-independent, so order canonically
+            # (see repro.executor.ordering) before slicing
+            rows = canonical_order(rows, query)[: query.limit]
+        else:
+            rows = self._apply_order(query, rows)
         columns = [item.render() for item in query.select]
         return ExecutionResult(columns=columns, rows=rows, chart_type=query.chart_type.value)
 
@@ -287,16 +305,4 @@ class DVQExecutor:
         return sorted(rows, key=sort_key, reverse=reverse)
 
     def _order_index(self, query: DVQuery) -> int:
-        order = query.order_by
-        assert order is not None
-        if isinstance(order.expr, AggregateExpr):
-            target_column = order.expr.argument.column.lower()
-            for index, item in enumerate(query.select):
-                if isinstance(item.expr, AggregateExpr) and item.expr.argument.column.lower() == target_column:
-                    return index
-            return 1 if len(query.select) > 1 else 0
-        target = order.expr.column.lower()
-        for index, item in enumerate(query.select):
-            if item.column.column.lower() == target:
-                return index
-        return 0
+        return order_index(query)

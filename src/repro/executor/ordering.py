@@ -1,0 +1,96 @@
+"""Canonical row ordering shared by every execution backend.
+
+Two engines that compute the same result set can still disagree on row order:
+the interpreter's stable sort preserves first-seen group order on ties while
+SQLite's ORDER BY leaves tie order unspecified, and rows without any ORDER BY
+come back in engine-dependent order.  This module defines one total order over
+output rows so that
+
+* :func:`repro.executor.backend.normalize_result` can bring both engines to an
+  identical row sequence, and
+* a ``LIMIT`` cut selects the same top-k rows on every engine.
+
+The per-value key mirrors the interpreter's historical sort semantics: numbers
+sort before strings (case-insensitively) before ``NULL``, so ``NULL`` lands
+last ascending and first descending.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.dvq.nodes import AggregateExpr, DVQuery, SortDirection
+
+#: Type ranks of the canonical value order: numbers < strings < NULL.
+_RANK_NUMBER = 0
+_RANK_TEXT = 1
+_RANK_NULL = 2
+
+
+def value_sort_key(value: object) -> Tuple[int, object, str]:
+    """Total-order key for a single output value.
+
+    Numbers (including bools) compare numerically, strings case-insensitively
+    with the exact text as a tiebreak, and ``None`` sorts after everything.
+    Values of other types fall back to their string form.
+    """
+    if value is None:
+        return (_RANK_NULL, 0.0, "")
+    if isinstance(value, bool):
+        return (_RANK_NUMBER, float(value), "")
+    if isinstance(value, (int, float)):
+        return (_RANK_NUMBER, float(value), "")
+    text = value if isinstance(value, str) else str(value)
+    return (_RANK_TEXT, text.lower(), text)
+
+
+def row_sort_key(row: Sequence[object]) -> Tuple[Tuple[int, object, str], ...]:
+    """Canonical key for a whole output row (left-to-right value keys)."""
+    return tuple(value_sort_key(value) for value in row)
+
+
+def order_index(query: DVQuery) -> int:
+    """The output-column index an ORDER BY clause refers to.
+
+    An aggregate ORDER BY matches the select item aggregating the same column
+    (falling back to the y column); a bare column matches the select item with
+    the same case-insensitive column name (falling back to x).
+    """
+    order = query.order_by
+    assert order is not None
+    if isinstance(order.expr, AggregateExpr):
+        target_column = order.expr.argument.column.lower()
+        for index, item in enumerate(query.select):
+            if (
+                isinstance(item.expr, AggregateExpr)
+                and item.expr.argument.column.lower() == target_column
+            ):
+                return index
+        return 1 if len(query.select) > 1 else 0
+    target = order.expr.column.lower()
+    for index, item in enumerate(query.select):
+        if item.column.column.lower() == target:
+            return index
+    return 0
+
+
+def canonical_order(
+    rows: Sequence[Tuple[object, ...]], query: DVQuery
+) -> List[Tuple[object, ...]]:
+    """Return ``rows`` in the canonical deterministic order for ``query``.
+
+    Rows are first sorted by their full canonical key; when the query carries
+    an ORDER BY, a stable second pass sorts by the ordered column so that ties
+    keep the ascending canonical order regardless of sort direction.
+    """
+    ordered = sorted(rows, key=row_sort_key)
+    if query.order_by is not None:
+        index = order_index(query)
+
+        def primary_key(row: Tuple[object, ...]):
+            return value_sort_key(row[index] if index < len(row) else None)
+
+        ordered.sort(
+            key=primary_key, reverse=query.order_by.direction is SortDirection.DESC
+        )
+    return ordered

@@ -44,6 +44,12 @@ class WorkbenchConfig:
             predictions are independent across examples).
         llm_cache: prepare GRED with ``use_llm_cache`` so repeated completion
             requests across variant test sets are served from memory.
+        execution_backend: when set (``"interpreter"`` or ``"sqlite"``),
+            every evaluation also executes the predicted DVQs on that engine
+            and reports
+            :attr:`~repro.evaluation.evaluator.EvaluationRun.execution_rate`;
+            ``None`` (default) skips the execution check, keeping runs
+            identical to the historical behaviour.
     """
 
     scale: float = 0.15
@@ -52,6 +58,7 @@ class WorkbenchConfig:
     gred_top_k: int = 10
     max_workers: int = 1
     llm_cache: bool = True
+    execution_backend: Optional[str] = None
 
 
 @dataclass
@@ -131,7 +138,9 @@ class Workbench:
         never the resulting numbers.
         """
         evaluator = ModelEvaluator(
-            limit=self.config.evaluation_limit, max_workers=self.config.max_workers
+            limit=self.config.evaluation_limit,
+            max_workers=self.config.max_workers,
+            execution_backend=self.config.execution_backend,
         )
         return evaluator.evaluate(model, dataset, model_name=model_name)
 

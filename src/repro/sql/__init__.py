@@ -1,0 +1,29 @@
+"""DVQ -> SQL compilation and execution on a real database engine.
+
+The seed executor interprets DVQs row-at-a-time over in-memory dict rows —
+a fine reference oracle, but far too slow for large tables.  This package
+scales execution by lowering a parsed :class:`~repro.dvq.nodes.DVQuery` to a
+parameterised SQL statement (:class:`DVQToSQLCompiler`) and running it on
+SQLite (:class:`SQLiteBackend`, an
+:class:`~repro.executor.backend.ExecutionBackend`).
+
+The compiler targets *interpreter semantics*, not plain SQL semantics: string
+equality is case-insensitive, ``NOT IN`` / ``NOT LIKE`` keep NULL rows,
+``x = 'null'`` doubles as an IS NULL test, WHERE connectors associate left to
+right without precedence, and NULL ordering follows the interpreter's
+"numbers, strings, then NULL" convention.  Combined with the shared result
+normalisation in :mod:`repro.executor.backend`, both engines return identical
+:class:`~repro.executor.executor.ExecutionResult` objects for every query in
+the portable DVQ subset — a property enforced by the differential suite in
+``tests/test_sql_differential.py`` and exploited by the throughput benchmark
+in ``benchmarks/test_sql_backend_throughput.py``.
+"""
+
+from repro.sql.backend import SQLiteBackend
+from repro.sql.compiler import CompiledQuery, DVQToSQLCompiler
+
+__all__ = [
+    "CompiledQuery",
+    "DVQToSQLCompiler",
+    "SQLiteBackend",
+]

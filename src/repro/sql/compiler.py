@@ -1,0 +1,406 @@
+"""Lowering of DVQ ASTs to parameterised SQL for the SQLite backend.
+
+:class:`DVQToSQLCompiler` turns a parsed :class:`~repro.dvq.nodes.DVQuery`
+into a :class:`CompiledQuery` — one SQL string plus an ordered tuple of bound
+parameters — resolved against a database schema.  The compiled SQL reproduces
+the *interpreter's* semantics (see :mod:`repro.executor`), which differ from
+vanilla SQL in a few deliberate ways:
+
+* ``=`` / ``!=`` / ``IN`` compare strings case-insensitively
+  (``COLLATE NOCASE``), matching the interpreter's loose equality.
+* ``x = 'null'`` also matches rows where ``x`` IS NULL (and ``!=`` excludes
+  them), mirroring the interpreter's null-sentinel convention for model
+  outputs that write ``= "null"``.
+* ``NOT IN`` and ``NOT LIKE`` keep NULL rows — the interpreter evaluates the
+  inner match to False and negates it, where SQL three-valued logic would
+  drop the row.
+* WHERE connectors associate strictly left-to-right with no AND-over-OR
+  precedence (``a OR b AND c`` compiles to ``((a OR b) AND c)``), matching
+  nvBench's flat DVQ semantics.
+* ORDER BY sorts NULLs last ascending / first descending, and text
+  case-insensitively, matching the interpreter's sort key; when the query
+  carries a ``LIMIT``, every output column is appended as a canonical
+  tiebreak so the top-k cut is deterministic across engines.
+* ``BIN ... BY ...`` lowers to a scalar expression chosen from the binned
+  column's declared type: ``substr``/``strftime`` arithmetic for dates, a
+  floor-division interval label for numbers.
+
+Column references are resolved against the schema during compilation —
+unqualified names search the primary table then the joined tables in order,
+aliases are honoured (including the interpreter's tolerance for qualifying by
+the underlying table name even when it is aliased) — and unknown tables or
+columns raise :class:`~repro.executor.errors.ExecutionError`, keeping the
+"no chart" failure mode identical across backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.database.database import Database
+from repro.database.schema import Column, ColumnType, DatabaseSchema, TableSchema
+from repro.dvq.nodes import (
+    AggregateExpr,
+    BinUnit,
+    ColumnRef,
+    Condition,
+    DVQuery,
+    JoinClause,
+    SelectItem,
+    SortDirection,
+)
+from repro.executor.errors import ExecutionError
+from repro.executor.ordering import order_index
+
+_WEEKDAY_CASES = (
+    "CASE strftime('%w', {x}) "
+    "WHEN '0' THEN 'Sunday' WHEN '1' THEN 'Monday' WHEN '2' THEN 'Tuesday' "
+    "WHEN '3' THEN 'Wednesday' WHEN '4' THEN 'Thursday' WHEN '5' THEN 'Friday' "
+    "WHEN '6' THEN 'Saturday' ELSE {x} END"
+)
+
+
+def quote_identifier(name: str) -> str:
+    """Double-quote ``name`` as a SQL identifier (embedded quotes doubled)."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+@dataclass(frozen=True)
+class CompiledQuery:
+    """One executable SQL statement lowered from a DVQ.
+
+    Attributes:
+        sql: the SQL text with ``?`` placeholders.
+        params: bound parameter values, in placeholder order.
+        columns: output column labels (the DVQ select renderings, not SQL
+            aliases — both backends label results identically).
+    """
+
+    sql: str
+    params: Tuple[object, ...]
+    columns: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class _TableEntry:
+    """One table visible to the query: schema plus its effective SQL name."""
+
+    schema: TableSchema
+    effective: str  # alias if present, else the table name
+
+    def sql_name(self) -> str:
+        return quote_identifier(self.effective)
+
+
+class _Scope:
+    """Column resolution over the tables a query references."""
+
+    def __init__(self) -> None:
+        self.entries: List[_TableEntry] = []
+
+    def add(self, schema: TableSchema, alias: Optional[str]) -> None:
+        self.entries.append(_TableEntry(schema=schema, effective=alias or schema.name))
+
+    def resolve(self, ref: ColumnRef, query: DVQuery) -> Tuple[_TableEntry, Column]:
+        """Find the table entry and column a reference points at.
+
+        Qualified references match the alias or the underlying table name
+        (the interpreter accepts either); unqualified references search the
+        tables in join order, mirroring the interpreter's lookup.
+        """
+        if ref.table:
+            wanted = ref.table.lower()
+            for entry in self.entries:
+                if wanted in (entry.effective.lower(), entry.schema.name.lower()):
+                    if entry.schema.has_column(ref.column):
+                        return entry, entry.schema.column(ref.column)
+                    raise ExecutionError(
+                        f"Table {ref.table!r} has no column {ref.column!r}", query=query
+                    )
+            raise ExecutionError(f"Unknown table or alias {ref.table!r}", query=query)
+        for entry in self.entries:
+            if entry.schema.has_column(ref.column):
+                return entry, entry.schema.column(ref.column)
+        raise ExecutionError(f"Unknown column {ref.column!r}", query=query)
+
+    def column_sql(self, ref: ColumnRef, query: DVQuery) -> str:
+        entry, column = self.resolve(ref, query)
+        return f"{entry.sql_name()}.{quote_identifier(column.name)}"
+
+    def column_type(self, ref: ColumnRef, query: DVQuery) -> ColumnType:
+        _, column = self.resolve(ref, query)
+        return column.ctype
+
+
+class DVQToSQLCompiler:
+    """Compile DVQ ASTs into parameterised SQL with interpreter semantics.
+
+    ``bin_interval`` is the fixed width of ``BIN ... BY INTERVAL`` buckets,
+    matching :class:`~repro.executor.executor.DVQExecutor`'s parameter.
+    """
+
+    def __init__(self, bin_interval: int = 100):
+        self.bin_interval = max(int(bin_interval), 1)
+
+    def compile(
+        self, query: DVQuery, schema: Union[Database, DatabaseSchema]
+    ) -> CompiledQuery:
+        """Lower ``query`` to SQL against ``schema``.
+
+        Raises:
+            ExecutionError: when the query references tables or columns that
+                do not exist — the same failure mode as the interpreter.
+        """
+        if isinstance(schema, Database):
+            schema = schema.schema
+        scope = self._build_scope(query, schema)
+        params: List[object] = []
+
+        select_sql = [
+            self._select_item_sql(item, query, scope) for item in query.select
+        ]
+        sql_parts = ["SELECT", " , ".join(select_sql), "FROM", self._from_sql(query, schema)]
+        for join in query.joins:
+            sql_parts.append(self._join_sql(join, query, scope))
+        if query.where is not None and query.where.conditions:
+            sql_parts.append("WHERE")
+            sql_parts.append(self._where_sql(query, scope, params))
+        group_exprs = self._group_exprs(query, scope)
+        if group_exprs:
+            sql_parts.append("GROUP BY")
+            sql_parts.append(" , ".join(group_exprs))
+        order_sql = self._order_sql(query, select_sql)
+        if order_sql:
+            sql_parts.append(order_sql)
+        if query.limit is not None:
+            sql_parts.append("LIMIT ?")
+            params.append(int(query.limit))
+        columns = tuple(item.render() for item in query.select)
+        return CompiledQuery(
+            sql=" ".join(sql_parts), params=tuple(params), columns=columns
+        )
+
+    # -- scope and FROM/JOIN ------------------------------------------------
+
+    def _build_scope(self, query: DVQuery, schema: DatabaseSchema) -> _Scope:
+        scope = _Scope()
+        if not schema.has_table(query.table):
+            raise ExecutionError(
+                f"Database {schema.name!r} has no table {query.table!r}",
+                query=query,
+                database=schema.name,
+            )
+        scope.add(schema.table(query.table), query.table_alias)
+        for join in query.joins:
+            if not schema.has_table(join.table):
+                raise ExecutionError(
+                    f"Database {schema.name!r} has no table {join.table!r}",
+                    query=query,
+                    database=schema.name,
+                )
+            scope.add(schema.table(join.table), join.alias)
+        return scope
+
+    def _from_sql(self, query: DVQuery, schema: DatabaseSchema) -> str:
+        table = quote_identifier(schema.table(query.table).name)
+        if query.table_alias:
+            return f"{table} AS {quote_identifier(query.table_alias)}"
+        return table
+
+    def _join_sql(self, join: JoinClause, query: DVQuery, scope: _Scope) -> str:
+        joined = quote_identifier(join.table)
+        if join.alias:
+            joined = f"{joined} AS {quote_identifier(join.alias)}"
+        left = scope.column_sql(join.left, query)
+        right = scope.column_sql(join.right, query)
+        return f"JOIN {joined} ON {left} = {right}"
+
+    # -- SELECT -------------------------------------------------------------
+
+    def _select_item_sql(self, item: SelectItem, query: DVQuery, scope: _Scope) -> str:
+        if isinstance(item.expr, AggregateExpr):
+            aggregate = item.expr
+            if aggregate.argument.column == "*":
+                inner = "*"
+            else:
+                inner = scope.column_sql(aggregate.argument, query)
+            if aggregate.distinct:
+                inner = f"DISTINCT {inner}"
+            sql = f"{aggregate.function.value}({inner})"
+            # interpreter aggregates are float-valued (SUM of ints gives 6.0);
+            # value coercion in normalize_result re-canonicalises both sides,
+            # so the raw SQLite integer is fine here
+            return sql
+        if (
+            query.bin is not None
+            and item.column.lower_key() == query.bin.column.lower_key()
+        ):
+            return self._bin_sql(query, scope)
+        return scope.column_sql(item.expr, query)
+
+    # -- BIN ----------------------------------------------------------------
+
+    def _bin_sql(self, query: DVQuery, scope: _Scope) -> str:
+        assert query.bin is not None
+        column_sql = scope.column_sql(query.bin.column, query)
+        ctype = scope.column_type(query.bin.column, query)
+        unit = query.bin.unit
+        if unit is BinUnit.YEAR:
+            if ctype is ColumnType.DATE:
+                return f"CAST(substr({column_sql}, 1, 4) AS INTEGER)"
+            if ctype in (ColumnType.NUMBER, ColumnType.BOOLEAN):
+                return f"CAST({column_sql} AS INTEGER)"
+            return column_sql
+        if unit is BinUnit.MONTH:
+            if ctype is ColumnType.DATE:
+                return f"CAST(substr({column_sql}, 6, 2) AS INTEGER)"
+            return column_sql
+        if unit is BinUnit.WEEKDAY:
+            if ctype is ColumnType.DATE:
+                return _WEEKDAY_CASES.format(x=column_sql)
+            return column_sql
+        if unit is BinUnit.INTERVAL:
+            if ctype in (ColumnType.NUMBER, ColumnType.BOOLEAN):
+                width = self.bin_interval
+                ratio = f"{column_sql} * 1.0 / {width}"
+                # floor() without the floor() function (needs SQLite >= 3.35):
+                # truncate toward zero, then subtract 1 when truncation rounded
+                # a negative ratio up
+                floor = (
+                    f"( CAST({ratio} AS INTEGER) - "
+                    f"( {ratio} < CAST({ratio} AS INTEGER) ) )"
+                )
+                low = f"{floor} * {width}"
+                return f"('[' || ({low}) || ', ' || (({low}) + {width}) || ')')"
+            return column_sql
+        raise ExecutionError(f"Unsupported bin unit {unit!r}", query=query)
+
+    # -- WHERE --------------------------------------------------------------
+
+    def _where_sql(self, query: DVQuery, scope: _Scope, params: List[object]) -> str:
+        where = query.where
+        assert where is not None
+        rendered = self._condition_sql(where.conditions[0], query, scope, params)
+        for index, connector in enumerate(where.connectors):
+            # strict left-to-right evaluation, no AND-over-OR precedence
+            nxt = self._condition_sql(
+                where.conditions[index + 1], query, scope, params
+            )
+            rendered = f"( {rendered} {connector.upper()} {nxt} )"
+        return rendered
+
+    def _condition_sql(
+        self, condition: Condition, query: DVQuery, scope: _Scope, params: List[object]
+    ) -> str:
+        column = scope.column_sql(condition.column, query)
+        operator = condition.operator.upper()
+        if operator == "IS NULL":
+            return f"{column} IS NOT NULL" if condition.negated else f"{column} IS NULL"
+        if operator == "BETWEEN":
+            params.extend([condition.value, condition.value2])
+            return f"{column} BETWEEN ? AND ?"
+        if operator == "IN":
+            disjuncts = []
+            has_null_item = False
+            for item in condition.value:
+                if item is None:
+                    has_null_item = True
+                    disjuncts.append(f"{column} IS NULL")
+                else:
+                    params.append(item)
+                    disjuncts.append(f"{column} = ? COLLATE NOCASE")
+            inner = " OR ".join(disjuncts) if disjuncts else "0"
+            if condition.negated:
+                if has_null_item:
+                    # a NULL list item matches NULL rows in the interpreter,
+                    # so their negation drops them — plain NOT suffices (the
+                    # IS NULL disjunct keeps the inner expression two-valued)
+                    return f"NOT ( {inner} )"
+                # interpreter NOT IN keeps NULL rows (inner match is False)
+                return f"( {column} IS NULL OR NOT ( {inner} ) )"
+            return f"( {inner} )"
+        if operator == "LIKE":
+            params.append(condition.value)
+            if condition.negated:
+                # interpreter NOT LIKE keeps NULL rows
+                return f"( {column} IS NULL OR {column} NOT LIKE ? )"
+            return f"{column} LIKE ?"
+        if operator in ("=", "!="):
+            sentinel = isinstance(condition.value, str) and condition.value.lower() == "null"
+            params.append(condition.value)
+            if operator == "=":
+                if sentinel:
+                    # x = 'null' doubles as an IS NULL test in the interpreter
+                    return f"( {column} IS NULL OR {column} = ? COLLATE NOCASE )"
+                return f"{column} = ? COLLATE NOCASE"
+            if sentinel:
+                return f"( {column} IS NOT NULL AND {column} <> ? COLLATE NOCASE )"
+            return f"{column} <> ? COLLATE NOCASE"
+        if operator in (">", ">=", "<", "<="):
+            params.append(condition.value)
+            return f"{column} {operator} ?"
+        raise ExecutionError(
+            f"Unsupported comparison operator {condition.operator!r}", query=query
+        )
+
+    # -- GROUP BY -----------------------------------------------------------
+
+    def _needs_grouping(self, query: DVQuery) -> bool:
+        if query.group_by or query.bin is not None:
+            return True
+        return any(item.is_aggregate for item in query.select)
+
+    def _group_exprs(self, query: DVQuery, scope: _Scope) -> List[str]:
+        if not self._needs_grouping(query):
+            return []
+        exprs: List[str] = []
+        if query.bin is not None:
+            exprs.append(self._bin_sql(query, scope))
+        for column in query.group_by:
+            exprs.append(scope.column_sql(column, query))
+        if not exprs:
+            # implicit grouping by the non-aggregated select columns
+            for item in query.select:
+                if not item.is_aggregate and item.column.column != "*":
+                    exprs.append(scope.column_sql(item.column, query))
+        if not exprs:
+            # aggregates-only query: a constant group collapses to one row on
+            # data and — unlike a bare aggregate SELECT — to zero rows on
+            # empty input, matching the interpreter
+            exprs.append("'__all__'")
+        return exprs
+
+    # -- ORDER BY / LIMIT ---------------------------------------------------
+
+    def _order_sql(self, query: DVQuery, select_sql: List[str]) -> str:
+        terms: List[str] = []
+        if query.order_by is not None:
+            index = order_index(query)
+            expr = select_sql[index] if index < len(select_sql) else select_sql[0]
+            descending = query.order_by.direction is SortDirection.DESC
+            terms.extend(self._order_terms(expr, descending))
+        if query.limit is not None:
+            # deterministic top-k: canonical ascending tiebreak over every
+            # output column, mirroring executor.ordering.canonical_order
+            for expr in select_sql:
+                terms.extend(self._order_terms(expr, descending=False))
+        if not terms:
+            return ""
+        return "ORDER BY " + " , ".join(terms)
+
+    def _order_terms(self, expr: str, descending: bool) -> List[str]:
+        """One sort key as SQL terms matching the interpreter's value key.
+
+        The interpreter key is ``(type rank, lowered text / number, exact
+        text)`` with NULL ranked last: the ``IS NULL`` term reproduces the
+        NULL rank portably (no ``NULLS LAST`` syntax, which needs SQLite >=
+        3.30), NOCASE the case-insensitive comparison, and a final BINARY
+        term the exact-text tiebreak between case-variant strings.
+        """
+        direction = "DESC" if descending else "ASC"
+        return [
+            f"( {expr} IS NULL ) {direction}",
+            f"{expr} COLLATE NOCASE {direction}",
+            f"{expr} COLLATE BINARY {direction}",
+        ]

@@ -9,6 +9,7 @@ from repro.database.database import Database
 from repro.dvq.errors import DVQError
 from repro.dvq.nodes import DVQuery
 from repro.dvq.parser import parse_dvq
+from repro.executor.backend import ExecutionBackend
 from repro.executor.errors import ExecutionError
 from repro.executor.executor import DVQExecutor, ExecutionResult
 from repro.vegalite.compiler import compile_to_vegalite
@@ -67,10 +68,18 @@ class Chart:
 
 @dataclass
 class ChartRenderer:
-    """Renders DVQs (text or AST) into :class:`Chart` objects."""
+    """Renders DVQs (text or AST) into :class:`Chart` objects.
+
+    By default the chart data is materialised by the row-at-a-time
+    interpreter (``executor``); pass ``backend`` — any
+    :class:`~repro.executor.backend.ExecutionBackend`, e.g.
+    ``resolve_backend("sqlite")`` — to execute on a different engine with
+    normalised (engine-independent) results instead.
+    """
 
     executor: DVQExecutor = field(default_factory=DVQExecutor)
     strict: bool = True
+    backend: Optional[ExecutionBackend] = None
 
     def render(self, query: DVQuery, database: Database) -> Chart:
         """Render a parsed query against ``database``.
@@ -84,8 +93,9 @@ class ChartRenderer:
             raise RenderError(
                 f"Invalid Vega-Lite specification: {problems[0]}", problems=problems
             )
+        engine = self.backend if self.backend is not None else self.executor
         try:
-            result = self.executor.execute(query, database)
+            result = engine.execute(query, database)
         except ExecutionError as exc:
             raise RenderError(f"Execution failed: {exc}") from exc
         spec.data_values = result.as_dicts()

@@ -6,10 +6,11 @@ from hypothesis import given, settings, strategies as st
 from repro.database import Catalog, DataGenerator, Table
 from repro.database.schema import Column, ColumnType, TableSchema, build_schema
 from repro.dvq import parse_dvq
-from repro.dvq.nodes import BinUnit
-from repro.executor import DVQExecutor, ExecutionError
+from repro.dvq.nodes import BinUnit, ColumnRef, Condition
+from repro.executor import DVQExecutor, ExecutionError, ExecutionResult
 from repro.executor.binning import bin_value
 from repro.executor.functions import apply_aggregate
+from repro.executor.predicates import evaluate_condition
 
 
 class TestSchema:
@@ -203,3 +204,213 @@ class TestExecutor:
             query = parse_dvq(example.dvq)
             database = small_dataset.catalog.get(example.db_id)
             executor.execute(query, database)
+
+    def test_limit_caps_rows_deterministically(self, hr_database):
+        full = DVQExecutor().execute(
+            parse_dvq(
+                "Visualize BAR SELECT LAST_NAME , COUNT(*) FROM employees "
+                "GROUP BY LAST_NAME ORDER BY COUNT(*) DESC"
+            ),
+            hr_database,
+        )
+        limited = DVQExecutor().execute(
+            parse_dvq(
+                "Visualize BAR SELECT LAST_NAME , COUNT(*) FROM employees "
+                "GROUP BY LAST_NAME ORDER BY COUNT(*) DESC LIMIT 3"
+            ),
+            hr_database,
+        )
+        assert len(limited) == 3
+        # top-k rows carry the k highest counts of the full result
+        top_counts = sorted((row[1] for row in full.rows), reverse=True)[:3]
+        assert sorted((row[1] for row in limited.rows), reverse=True) == top_counts
+
+
+def _null_db():
+    """A table exercising NULLs in every predicate-relevant position."""
+    schema = build_schema(
+        "nullable",
+        [
+            (
+                "readings",
+                [
+                    ("READING_ID", ColumnType.NUMBER, "id"),
+                    ("SENSOR", ColumnType.TEXT, "name"),
+                    ("VALUE", ColumnType.NUMBER, "count"),
+                ],
+            )
+        ],
+    )
+    from repro.database import Database
+
+    return Database.from_rows(
+        schema,
+        {
+            "readings": [
+                {"READING_ID": 1, "SENSOR": "Alpha", "VALUE": 10},
+                {"READING_ID": 2, "SENSOR": None, "VALUE": 20},
+                {"READING_ID": 3, "SENSOR": "Beta", "VALUE": None},
+                {"READING_ID": 4, "SENSOR": "alpha", "VALUE": 30},
+            ]
+        },
+    )
+
+
+class TestNullPredicates:
+    """NULL semantics the differential harness relies on (satellite checks)."""
+
+    def test_comparisons_with_null_value_are_false(self):
+        condition = Condition(column=ColumnRef("VALUE"), operator=">", value=5)
+        assert not evaluate_condition(condition, None)
+        condition = Condition(column=ColumnRef("VALUE"), operator="=", value=5)
+        assert not evaluate_condition(condition, None)
+
+    def test_null_literal_never_matches_equality(self):
+        condition = Condition(column=ColumnRef("VALUE"), operator="=", value=None)
+        assert not evaluate_condition(condition, 5)
+        assert not evaluate_condition(condition, None)
+
+    def test_null_sentinel_string_matches_null_values(self):
+        condition = Condition(column=ColumnRef("SENSOR"), operator="=", value="null")
+        assert evaluate_condition(condition, None)
+        assert not evaluate_condition(condition, "Alpha")
+        negated = Condition(column=ColumnRef("SENSOR"), operator="!=", value="null")
+        assert not evaluate_condition(negated, None)
+        assert evaluate_condition(negated, "Alpha")
+
+    def test_is_null_and_is_not_null(self):
+        executor = DVQExecutor()
+        result = executor.execute(
+            parse_dvq("Visualize BAR SELECT READING_ID , VALUE FROM readings WHERE VALUE IS NULL"),
+            _null_db(),
+        )
+        assert result.x_values() == [3]
+        result = executor.execute(
+            parse_dvq("Visualize BAR SELECT READING_ID , VALUE FROM readings WHERE SENSOR IS NOT NULL"),
+            _null_db(),
+        )
+        assert result.x_values() == [1, 3, 4]
+
+    def test_not_in_keeps_null_rows(self):
+        result = DVQExecutor().execute(
+            parse_dvq(
+                "Visualize BAR SELECT READING_ID , SENSOR FROM readings "
+                "WHERE SENSOR NOT IN ( 'Beta' )"
+            ),
+            _null_db(),
+        )
+        # row 2 (NULL sensor) passes, row 3 ('Beta') is excluded
+        assert result.x_values() == [1, 2, 4]
+
+    def test_not_like_keeps_null_rows(self):
+        result = DVQExecutor().execute(
+            parse_dvq(
+                "Visualize BAR SELECT READING_ID , SENSOR FROM readings "
+                "WHERE SENSOR NOT LIKE 'Al%'"
+            ),
+            _null_db(),
+        )
+        assert result.x_values() == [2, 3]
+
+    def test_string_equality_is_case_insensitive(self):
+        result = DVQExecutor().execute(
+            parse_dvq(
+                "Visualize BAR SELECT READING_ID , SENSOR FROM readings WHERE SENSOR = 'ALPHA'"
+            ),
+            _null_db(),
+        )
+        assert result.x_values() == [1, 4]
+
+
+class TestEmptyGroupAggregates:
+    """Aggregates over empty inputs (satellite checks)."""
+
+    def test_all_aggregates_on_empty_sequences(self):
+        assert apply_aggregate("COUNT", []) == 0
+        assert apply_aggregate("SUM", []) is None
+        assert apply_aggregate("AVG", []) is None
+        assert apply_aggregate("MIN", []) is None
+        assert apply_aggregate("MAX", []) is None
+
+    def test_aggregates_over_all_null_values(self):
+        values = [None, None]
+        assert apply_aggregate("COUNT", values) == 0
+        assert apply_aggregate("SUM", values) is None
+        assert apply_aggregate("AVG", values) is None
+        assert apply_aggregate("MIN", values) is None
+        assert apply_aggregate("MAX", values) is None
+
+    def test_aggregate_only_query_on_empty_input_yields_no_rows(self, hr_database):
+        result = DVQExecutor().execute(
+            parse_dvq("Visualize BAR SELECT COUNT(*) FROM employees WHERE SALARY > 99999999"),
+            hr_database,
+        )
+        assert result.rows == []
+
+    def test_aggregate_over_group_of_nulls_yields_none(self):
+        result = DVQExecutor().execute(
+            parse_dvq(
+                "Visualize BAR SELECT SENSOR , SUM(VALUE) FROM readings "
+                "WHERE SENSOR = 'Beta' GROUP BY SENSOR"
+            ),
+            _null_db(),
+        )
+        assert result.rows == [("Beta", None)]
+
+
+class TestQualifiedLookup:
+    """Case-insensitive qualified column lookup with table aliases."""
+
+    def test_alias_qualified_lookup_is_case_insensitive(self, hr_database):
+        result = DVQExecutor().execute(
+            parse_dvq(
+                "Visualize BAR SELECT T1.last_name , COUNT(T1.LAST_NAME) "
+                "FROM employees AS T1 GROUP BY T1.last_name"
+            ),
+            hr_database,
+        )
+        assert sum(row[1] for row in result.rows) == len(hr_database.table("employees"))
+
+    def test_table_name_still_resolves_when_aliased(self, hr_database):
+        result = DVQExecutor().execute(
+            parse_dvq(
+                "Visualize BAR SELECT employees.LAST_NAME , COUNT(employees.LAST_NAME) "
+                "FROM employees AS T1 GROUP BY employees.LAST_NAME"
+            ),
+            hr_database,
+        )
+        assert len(result) >= 1
+
+    def test_join_with_aliases_on_both_sides(self, hr_database):
+        result = DVQExecutor().execute(
+            parse_dvq(
+                "Visualize BAR SELECT T2.DEPARTMENT_NAME , AVG(T1.SALARY) FROM employees AS T1 "
+                "JOIN departments AS T2 ON T1.DEPARTMENT_ID = T2.DEPARTMENT_ID "
+                "GROUP BY T2.DEPARTMENT_NAME"
+            ),
+            hr_database,
+        )
+        assert len(result) >= 1
+
+    def test_unknown_alias_raises(self, hr_database):
+        query = parse_dvq(
+            "Visualize BAR SELECT T9.LAST_NAME , COUNT(T9.LAST_NAME) "
+            "FROM employees AS T1 GROUP BY T9.LAST_NAME"
+        )
+        with pytest.raises(ExecutionError):
+            DVQExecutor().execute(query, hr_database)
+
+
+class TestExecutionResultAccessors:
+    def test_y_values_returns_second_column(self):
+        result = ExecutionResult(columns=["x", "y"], rows=[(1, 2), (3, 4)])
+        assert result.y_values() == [2, 4]
+
+    def test_y_values_raises_on_single_column_results(self):
+        result = ExecutionResult(columns=["x"], rows=[(1,), (2,)])
+        with pytest.raises(ValueError, match="no y column"):
+            result.y_values()
+
+    def test_x_values_on_single_column_results(self):
+        result = ExecutionResult(columns=["x"], rows=[(1,), (2,)])
+        assert result.x_values() == [1, 2]

@@ -1,0 +1,127 @@
+"""Property-based round-trip tests for the DVQ layer.
+
+For randomly generated queries (seeded through Hypothesis), serialization and
+parsing are mutual inverses up to canonical form — ``parse(serialize(q))``
+re-serialises to the same string — and text normalisation is idempotent.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.database import DataGenerator
+from repro.database.schema import ColumnType, build_schema
+from repro.dvq import parse_dvq, serialize_dvq
+from repro.dvq.generate import RandomDVQGenerator
+from repro.dvq.components import extract_components
+from repro.dvq.normalize import normalize_dvq_text
+
+
+@pytest.fixture(scope="module")
+def roundtrip_database():
+    schema = build_schema(
+        "roundtrip_db",
+        [
+            (
+                "staff",
+                [
+                    ("STAFF_ID", ColumnType.NUMBER, "id"),
+                    ("NAME", ColumnType.TEXT, "name"),
+                    ("CITY", ColumnType.TEXT, "city"),
+                    ("WAGE", ColumnType.NUMBER, "salary"),
+                    ("JOINED", ColumnType.DATE, "date"),
+                    ("REMOTE", ColumnType.BOOLEAN, "flag"),
+                    ("TEAM_ID", ColumnType.NUMBER, "id"),
+                ],
+            ),
+            (
+                "teams",
+                [
+                    ("TEAM_ID", ColumnType.NUMBER, "id"),
+                    ("TEAM_NAME", ColumnType.TEXT, "name"),
+                    ("BUDGET", ColumnType.NUMBER, "budget"),
+                ],
+            ),
+        ],
+        foreign_keys=[("staff", "TEAM_ID", "teams", "TEAM_ID")],
+    )
+    return DataGenerator(seed=9, rows_per_table=25).populate(schema)
+
+
+@settings(max_examples=100, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_parse_serialize_roundtrip(seed, roundtrip_database):
+    """serialize -> parse -> serialize is a fixed point for generated queries."""
+    query = RandomDVQGenerator(seed=seed).generate(roundtrip_database)
+    text = serialize_dvq(query)
+    reparsed = parse_dvq(text)
+    assert serialize_dvq(reparsed) == text
+
+
+@settings(max_examples=100, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_roundtrip_preserves_components(seed, roundtrip_database):
+    """Parsing the serialized form loses no Vis/Axis/Data information."""
+    query = RandomDVQGenerator(seed=seed).generate(roundtrip_database)
+    reparsed = parse_dvq(serialize_dvq(query))
+    assert extract_components(reparsed) == extract_components(query)
+
+
+@settings(max_examples=100, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_normalize_is_idempotent(seed, roundtrip_database):
+    """normalize(normalize(text)) == normalize(text) for generated queries."""
+    text = serialize_dvq(RandomDVQGenerator(seed=seed).generate(roundtrip_database))
+    normalized = normalize_dvq_text(text)
+    assert normalize_dvq_text(normalized) == normalized
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "visualize bar select a , count(a) from t group by a",
+        "Visualize   BAR SELECT a,COUNT(a) FROM t GROUP BY a",
+        "this is not a DVQ at all",
+        "",
+    ],
+)
+def test_normalize_is_idempotent_on_arbitrary_text(text):
+    normalized = normalize_dvq_text(text)
+    assert normalize_dvq_text(normalized) == normalized
+
+
+class TestLimitClause:
+    """Parsing and serialization of the new LIMIT (top-k) clause."""
+
+    def test_limit_roundtrip(self):
+        text = "Visualize BAR SELECT a , COUNT(a) FROM t GROUP BY a ORDER BY COUNT(a) DESC LIMIT 5"
+        query = parse_dvq(text)
+        assert query.limit == 5
+        assert serialize_dvq(query) == text
+
+    def test_limit_before_bin_is_reordered_canonically(self):
+        query = parse_dvq(
+            "Visualize LINE SELECT d , COUNT(d) FROM t LIMIT 3 BIN d BY YEAR"
+        )
+        assert query.limit == 3
+        assert query.bin is not None
+        assert serialize_dvq(query).endswith("BIN d BY YEAR LIMIT 3")
+
+    def test_limit_appears_in_components(self):
+        with_limit = parse_dvq("Visualize BAR SELECT a , COUNT(a) FROM t GROUP BY a LIMIT 2")
+        without = parse_dvq("Visualize BAR SELECT a , COUNT(a) FROM t GROUP BY a")
+        assert extract_components(with_limit) != extract_components(without)
+        assert extract_components(with_limit).data.limit == 2
+
+    def test_negative_limit_rejected(self):
+        from repro.dvq import DVQError
+
+        with pytest.raises(DVQError):
+            parse_dvq("Visualize BAR SELECT a , COUNT(a) FROM t GROUP BY a LIMIT -1")
+
+    def test_fractional_limit_rejected(self):
+        from repro.dvq import DVQError
+
+        with pytest.raises(DVQError):
+            parse_dvq("Visualize BAR SELECT a , COUNT(a) FROM t GROUP BY a LIMIT 2.5")
