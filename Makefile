@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-diff bench bench-paper-scale quickstart
+.PHONY: test test-fast test-diff bench bench-paper-scale quickstart lint
 
 test:            ## tier-1 suite (tests/ + benchmarks/, fail fast)
 	$(PYTHON) -m pytest -x -q
@@ -23,3 +23,6 @@ bench-paper-scale: ## benchmarks at the paper's full corpus scale (slow)
 
 quickstart:      ## end-to-end example: corpus -> GRED -> rendered chart
 	$(PYTHON) examples/quickstart.py
+
+lint:            ## ruff over the whole tree (config in ruff.toml)
+	ruff check src tests benchmarks examples

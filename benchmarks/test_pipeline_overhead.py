@@ -1,0 +1,85 @@
+"""Benchmark guard for the stage-plan machinery and the repair loop.
+
+Two promises are enforced here:
+
+* the declarative :class:`~repro.pipeline.plan.StagePlan` (contexts, records,
+  middleware closures) adds **< 10% wall-clock overhead** over the historical
+  direct three-call loop it replaced;
+* the execution-guided repair loop buys a **strictly higher execution rate**
+  on the seeded workbench corpus than the same pipeline with the loop
+  disabled.
+"""
+
+from __future__ import annotations
+
+from repro.core import GRED, GREDConfig
+from repro.robustness.variants import VariantKind
+from repro.runtime.timing import Stopwatch
+
+#: Examples per timing loop and repetitions per measurement (min is kept).
+N_EXAMPLES = 30
+REPEATS = 3
+OVERHEAD_BUDGET = 0.10
+
+
+def _direct_three_call_loop(model: GRED, pairs) -> None:
+    """The pre-refactor pipeline body: generate/retune/debug called by hand."""
+    for nlq, database in pairs:
+        dvq_gen = model.generator.generate(nlq, database)
+        dvq_rtn = model.retuner.retune(dvq_gen) if dvq_gen else dvq_gen
+        if dvq_rtn:
+            model.debugger.debug(dvq_rtn, database)
+
+
+def _plan_loop(model: GRED, pairs) -> None:
+    for nlq, database in pairs:
+        model.trace(nlq, database)
+
+
+def _best_of(loop, model: GRED, pairs) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        with Stopwatch() as watch:
+            loop(model, pairs)
+        best = min(best, watch.seconds)
+    return best
+
+
+def test_stage_plan_overhead_is_below_ten_percent(workbench):
+    dataset = workbench.dataset
+    model = GRED(GREDConfig(top_k=10, use_llm_cache=False)).fit(
+        dataset.train, dataset.catalog
+    )
+    pairs = [
+        (example.nlq, dataset.catalog.get(example.db_id))
+        for example in dataset.test[:N_EXAMPLES]
+    ]
+    # one warm-up pass so database annotations are cached for both loops
+    _plan_loop(model, pairs)
+    direct = _best_of(_direct_three_call_loop, model, pairs)
+    planned = _best_of(_plan_loop, model, pairs)
+    overhead = planned / direct - 1.0
+    print(
+        f"\nstage-plan overhead: direct {direct * 1e3:.1f} ms, "
+        f"plan {planned * 1e3:.1f} ms over {len(pairs)} traces "
+        f"({overhead:+.1%}, budget {OVERHEAD_BUDGET:.0%})"
+    )
+    assert planned <= direct * (1.0 + OVERHEAD_BUDGET), (
+        f"stage-plan machinery added {overhead:.1%} overhead "
+        f"(budget {OVERHEAD_BUDGET:.0%})"
+    )
+
+
+def test_repair_loop_execution_rate_uplift(workbench):
+    """Records the headline number: executability bought by repair rounds."""
+    report = workbench.repair_uplift(kind=VariantKind.BOTH, max_repair_rounds=2)
+    without = report["execution_rate_without_repair"]
+    with_repair = report["execution_rate_with_repair"]
+    print(
+        f"\nexecution rate on {report['variant']}: {without:.3f} without repair, "
+        f"{with_repair:.3f} with repair (uplift {report['uplift']:+.3f}); "
+        f"{report['repair_summary']}"
+    )
+    assert without is not None and with_repair is not None
+    assert with_repair > without, "repair loop must strictly raise the execution rate"
+    assert report["repair_summary"].repaired >= 1

@@ -15,7 +15,7 @@ import time
 from repro.database import DataGenerator
 from repro.database.schema import ColumnType, build_schema
 from repro.dvq import parse_dvq
-from repro.executor import InterpreterBackend, resolve_backend
+from repro.executor import InterpreterBackend
 from repro.sql import DVQToSQLCompiler, SQLiteBackend
 from repro.vegalite import ChartRenderer
 

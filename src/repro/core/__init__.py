@@ -17,13 +17,14 @@ The pipeline has a preparatory phase and three inference stages:
 """
 
 from repro.core.config import GREDConfig
+from repro.core.errors import NotFittedError, not_fitted
 from repro.core.annotator import DatabaseAnnotator
 from repro.core.retriever import GREDRetriever
 from repro.core.generator import NLQRetrievalGenerator
 from repro.core.retuner import DVQRetrievalRetuner
 from repro.core.debugger import AnnotationBasedDebugger
-from repro.core.pipeline import GRED, GREDTrace
-from repro.core.ablation import build_ablation_variants
+from repro.core.pipeline import GRED, GREDTrace, RepairStats
+from repro.core.ablation import build_ablation_variants, build_repair_variants
 
 __all__ = [
     "AnnotationBasedDebugger",
@@ -34,5 +35,9 @@ __all__ = [
     "GREDRetriever",
     "GREDTrace",
     "NLQRetrievalGenerator",
+    "NotFittedError",
+    "RepairStats",
     "build_ablation_variants",
+    "build_repair_variants",
+    "not_fitted",
 ]

@@ -41,10 +41,18 @@ class GREDConfig:
             :attr:`~repro.core.pipeline.GREDTrace.executes` — the paper's
             "no chart" check, off by default because it adds an execution per
             prediction.
-        execution_backend: which engine runs the verification —
+        execution_backend: which engine runs the execution checks —
             ``"interpreter"`` (the reference row-at-a-time executor) or
             ``"sqlite"`` (the DVQ->SQL compiler over SQLite, see
-            :mod:`repro.sql`).  Only meaningful with ``verify_execution``.
+            :mod:`repro.sql`).  Only meaningful with ``verify_execution``
+            or ``max_repair_rounds > 0``.
+        max_repair_rounds: enable the execution-guided repair loop
+            (:class:`repro.pipeline.stages.ExecutionGuidedRepairStage`):
+            after the regular stages, the candidate DVQ is executed on
+            ``execution_backend`` and, on failure, the structured error is
+            fed back into the annotation-based debugger for up to this many
+            rounds.  ``0`` (default) keeps the historical pipeline — the
+            execution verdict stays a passive metric.
     """
 
     top_k: int = 10
@@ -57,6 +65,7 @@ class GREDConfig:
     llm_cache_max_entries: Optional[int] = None
     verify_execution: bool = False
     execution_backend: str = "interpreter"
+    max_repair_rounds: int = 0
 
     @property
     def preparation_params(self) -> CompletionParams:
@@ -69,9 +78,13 @@ class GREDConfig:
     def variant_name(self) -> str:
         """A descriptive name reflecting the ablation switches."""
         if self.use_retuner and self.use_debugger:
-            return self.name
-        if not self.use_retuner and not self.use_debugger:
-            return f"{self.name} w/o RTN&DBG"
-        if not self.use_retuner:
-            return f"{self.name} w/o RTN"
-        return f"{self.name} w/o DBG"
+            base = self.name
+        elif not self.use_retuner and not self.use_debugger:
+            base = f"{self.name} w/o RTN&DBG"
+        elif not self.use_retuner:
+            base = f"{self.name} w/o RTN"
+        else:
+            base = f"{self.name} w/o DBG"
+        if self.max_repair_rounds > 0:
+            base = f"{base} + repair"
+        return base

@@ -5,13 +5,21 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.annotator import DatabaseAnnotator
-from repro.core.prompts import DEBUG_SYSTEM, make_debug_prompt
+from repro.core.prompts import DEBUG_SYSTEM, REPAIR_SYSTEM, make_debug_prompt, make_repair_prompt
 from repro.database.database import Database
+from repro.executor.backend import ExecutionOutcome
 from repro.llm.interface import ChatModel, CompletionParams
 
 
 class AnnotationBasedDebugger:
-    """Repairs out-of-schema column names using the annotated target database."""
+    """Repairs out-of-schema column names using the annotated target database.
+
+    Beyond the paper's one-shot :meth:`debug` pass, :meth:`repair` is the
+    execution-guided variant used by the repair loop
+    (:class:`repro.pipeline.stages.ExecutionGuidedRepairStage`): it feeds the
+    structured verdict of a failed execution back into the LLM so the model
+    knows *which* references broke the query.
+    """
 
     def __init__(
         self,
@@ -29,3 +37,10 @@ class AnnotationBasedDebugger:
         prompt = make_debug_prompt(database.schema, annotation, dvq_rtn)
         response = self.llm.complete_text(DEBUG_SYSTEM, prompt, params=self.params).strip()
         return response or dvq_rtn
+
+    def repair(self, dvq: str, database: Database, outcome: ExecutionOutcome) -> str:
+        """Produce a repaired DVQ from a failing one plus its execution verdict."""
+        annotation = self.annotator.annotate(database)
+        prompt = make_repair_prompt(database.schema, annotation, dvq, outcome)
+        response = self.llm.complete_text(REPAIR_SYSTEM, prompt, params=self.params).strip()
+        return response or dvq

@@ -1,0 +1,28 @@
+"""Shared errors of the GRED pipeline layer."""
+
+from __future__ import annotations
+
+
+class NotFittedError(RuntimeError):
+    """An inference entry point was called before :meth:`fit` / :meth:`prepare`.
+
+    Subclasses :class:`RuntimeError` so existing ``except RuntimeError``
+    handlers (and tests) keep working.  Use :func:`not_fitted` to build an
+    instance that names the *actual* caller — historically ``GRED.trace``
+    raised a message blaming ``GRED.predict``, which sent readers of the
+    traceback to the wrong method.
+    """
+
+
+def not_fitted(owner: str, caller: str, preparer: str = "fit") -> NotFittedError:
+    """A :class:`NotFittedError` naming the entry point that was actually called.
+
+    Args:
+        owner: class name, e.g. ``"GRED"``.
+        caller: the method the user invoked, e.g. ``"trace"``.
+        preparer: the method that must run first (``"fit"`` by default).
+    """
+    return NotFittedError(
+        f"{owner}.{caller} called before {preparer}; "
+        f"call {owner}.{preparer}(...) first"
+    )

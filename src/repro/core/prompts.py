@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import List, Sequence, Tuple
 
 from repro.database.schema import DatabaseSchema
+from repro.executor.backend import ExecutionOutcome
 from repro.llm import markers
 from repro.nvbench.example import NVBenchExample
 
@@ -17,6 +18,11 @@ RETUNE_SYSTEM = (
 DEBUG_SYSTEM = (
     "#### NOTE: Don't replace column names in Original DVQ that already exist in the "
     "database schemas, especially column names in GROUP BY Clause!"
+)
+REPAIR_SYSTEM = (
+    "#### NOTE: The Original DVQ failed to execute on the target database. "
+    "Use the execution error to decide which references must change; every table and "
+    "column the error names as missing MUST be replaced with an existing one."
 )
 
 CHART_TYPE_LINE = "# [ BAR , PIE , LINE , SCATTER ]"
@@ -99,6 +105,42 @@ def make_retune_prompt(reference_dvqs: Sequence[str], original_dvq: str) -> str:
         ]
     )
     return "\n".join(lines)
+
+
+def make_repair_prompt(
+    schema: DatabaseSchema,
+    annotation: str,
+    original_dvq: str,
+    outcome: ExecutionOutcome,
+) -> str:
+    """The execution-guided repair prompt.
+
+    Extends the Appendix C.4 debugging layout with a structured
+    ``### Execution Error:`` section so the LLM knows *why* the candidate
+    failed — the category, the identifiers the engine reported missing and
+    the raw engine message.
+    """
+    return "\n".join(
+        [
+            "#### Please generate detailed natural language annotations to the following database schemas.",
+            markers.SCHEMA_HEADER,
+            schema.describe(),
+            markers.ANNOTATION_HEADER,
+            annotation,
+            "",
+            "#### Given Database Schemas, their Natural Language Annotations and the "
+            f"Execution Error below, {markers.TASK_REPAIR} on the database "
+            "(DVQ, a new Programming Language abstracted from Vega-Zero).",
+            REPAIR_SYSTEM,
+            markers.EXECUTION_ERROR_HEADER,
+            f"# category: {outcome.category}",
+            f"# missing: {' , '.join(outcome.missing)}",
+            f"# {outcome.message}",
+            markers.ORIGINAL_DVQ_HEADER,
+            f"# {original_dvq}",
+            f"{markers.ANSWER_PREFIX} Let's think step by step!",
+        ]
+    )
 
 
 def make_debug_prompt(schema: DatabaseSchema, annotation: str, original_dvq: str) -> str:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro.core.errors import not_fitted
 from repro.embeddings.embedder import EmbedderConfig, TextEmbedder
 from repro.embeddings.store import SearchHit, VectorStore
 from repro.nvbench.example import NVBenchExample
@@ -51,23 +52,23 @@ class GREDRetriever:
     def retrieve_by_nlq(self, nlq: str, top_k: int) -> List[SearchHit]:
         """Top-K training examples by question similarity (descending score)."""
         if self.nlq_store is None:
-            raise RuntimeError("GREDRetriever.retrieve_by_nlq called before prepare")
+            raise not_fitted("GREDRetriever", "retrieve_by_nlq", preparer="prepare")
         return self.nlq_store.search(nlq, top_k=top_k)
 
     def retrieve_by_dvq(self, dvq: str, top_k: int) -> List[SearchHit]:
         """Top-K training examples by DVQ similarity (descending score)."""
         if self.dvq_store is None:
-            raise RuntimeError("GREDRetriever.retrieve_by_dvq called before prepare")
+            raise not_fitted("GREDRetriever", "retrieve_by_dvq", preparer="prepare")
         return self.dvq_store.search(dvq, top_k=top_k)
 
     def retrieve_by_nlq_many(self, nlqs: Sequence[str], top_k: int) -> List[List[SearchHit]]:
         """Batched :meth:`retrieve_by_nlq`: one matmul scores every question."""
         if self.nlq_store is None:
-            raise RuntimeError("GREDRetriever.retrieve_by_nlq_many called before prepare")
+            raise not_fitted("GREDRetriever", "retrieve_by_nlq_many", preparer="prepare")
         return self.nlq_store.search_many(nlqs, top_k=top_k)
 
     def retrieve_by_dvq_many(self, dvqs: Sequence[str], top_k: int) -> List[List[SearchHit]]:
         """Batched :meth:`retrieve_by_dvq`: one matmul scores every DVQ."""
         if self.dvq_store is None:
-            raise RuntimeError("GREDRetriever.retrieve_by_dvq_many called before prepare")
+            raise not_fitted("GREDRetriever", "retrieve_by_dvq_many", preparer="prepare")
         return self.dvq_store.search_many(dvqs, top_k=top_k)

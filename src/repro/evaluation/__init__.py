@@ -8,16 +8,25 @@ Four accuracies are computed over a test set of (predicted, target) DVQ pairs:
 * **Overall accuracy** — all components match (exact match).
 """
 
-from repro.evaluation.metrics import EvaluationResult, compare_queries, evaluate_predictions
-from repro.evaluation.evaluator import ModelEvaluator, PredictionRecord
+from repro.evaluation.metrics import (
+    EvaluationResult,
+    RepairSummary,
+    compare_queries,
+    evaluate_predictions,
+    execution_rate_uplift,
+)
+from repro.evaluation.evaluator import EvaluationRun, ModelEvaluator, PredictionRecord
 from repro.evaluation.report import format_accuracy_table, format_markdown_table
 
 __all__ = [
     "EvaluationResult",
+    "EvaluationRun",
     "ModelEvaluator",
     "PredictionRecord",
+    "RepairSummary",
     "compare_queries",
     "evaluate_predictions",
+    "execution_rate_uplift",
     "format_accuracy_table",
     "format_markdown_table",
 ]

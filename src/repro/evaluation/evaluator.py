@@ -7,7 +7,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.dvq.normalize import try_parse
-from repro.evaluation.metrics import EvaluationResult, compare_queries, evaluate_predictions
+from repro.evaluation.metrics import (
+    EvaluationResult,
+    RepairSummary,
+    compare_queries,
+    evaluate_predictions,
+)
 from repro.executor.backend import BackendSpec, ExecutionBackend, resolve_backend
 from repro.nvbench.dataset import NVBenchDataset
 from repro.nvbench.example import NVBenchExample
@@ -52,6 +57,7 @@ class EvaluationRun:
     dataset_name: str
     records: List[PredictionRecord] = field(default_factory=list)
     failure_count: int = 0
+    repair_summary: Optional[RepairSummary] = None
 
     @property
     def result(self) -> EvaluationResult:
@@ -136,7 +142,9 @@ class ModelEvaluator:
         def predict_one(example: NVBenchExample) -> str:
             return model.predict(example.nlq, catalog.get(example.db_id))
 
+        repair_before = self._repair_snapshot(model)
         report = runner.run(examples, predict_one)
+        run.repair_summary = self._repair_delta(model, repair_before)
         self.last_report = report
         run.failure_count = report.failure_count
         if report.failure_count:
@@ -170,3 +178,26 @@ class ModelEvaluator:
                 )
             )
         return run
+
+    @staticmethod
+    def _repair_snapshot(model):
+        """Pre-run copy of the model's repair counters (duck-typed)."""
+        stats = getattr(model, "repair_stats", None)
+        return stats.snapshot() if stats is not None else None
+
+    @staticmethod
+    def _repair_delta(model, before) -> Optional[RepairSummary]:
+        """The run's repair activity: counters now minus the pre-run snapshot."""
+        if before is None:
+            return None
+        delta = model.repair_stats.since(before)
+        # a model with the loop disabled reports no summary rather than zeros
+        if delta.attempted == 0 and delta.rounds_total == 0:
+            loop_enabled = getattr(getattr(model, "config", None), "max_repair_rounds", 0)
+            if not loop_enabled:
+                return None
+        return RepairSummary(
+            attempted=delta.attempted,
+            repaired=delta.repaired,
+            rounds_total=delta.rounds_total,
+        )

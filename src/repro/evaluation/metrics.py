@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.dvq.components import extract_components
 from repro.dvq.normalize import try_parse
@@ -107,6 +107,46 @@ def evaluate_predictions(pairs: Iterable[Tuple[str, str]]) -> EvaluationResult:
         data_correct=data,
         overall_correct=overall,
     )
+
+
+@dataclass(frozen=True)
+class RepairSummary:
+    """Effect of the execution-guided repair loop over one evaluation run.
+
+    Attributes:
+        attempted: predictions whose candidate initially failed to execute.
+        repaired: of those, how many the loop turned into executing queries.
+        rounds_total: LLM repair rounds spent across the run.
+    """
+
+    attempted: int = 0
+    repaired: int = 0
+    rounds_total: int = 0
+
+    @property
+    def repair_rate(self) -> float:
+        """Fraction of initially-failing predictions the loop rescued."""
+        return self.repaired / self.attempted if self.attempted else 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return (
+            f"repair: {self.repaired}/{self.attempted} rescued "
+            f"({self.repair_rate:.1%}) in {self.rounds_total} rounds"
+        )
+
+
+def execution_rate_uplift(
+    baseline_rate: Optional[float], repaired_rate: Optional[float]
+) -> Optional[float]:
+    """Absolute execution-rate gain of the repair loop (``None`` if unmeasured).
+
+    Both inputs are
+    :attr:`~repro.evaluation.evaluator.EvaluationRun.execution_rate` values —
+    the baseline run without the repair loop and the run with it enabled.
+    """
+    if baseline_rate is None or repaired_rate is None:
+        return None
+    return repaired_rate - baseline_rate
 
 
 def evaluate_by_group(

@@ -16,9 +16,13 @@ normalisation making both backends return identical results.
 
 from repro.executor.backend import (
     ExecutionBackend,
+    ExecutionOutcome,
     InterpreterBackend,
     canonical_value,
+    classify_failure,
+    explain_execution,
     normalize_result,
+    parse_failure_outcome,
     resolve_backend,
 )
 from repro.executor.errors import ExecutionError
@@ -31,12 +35,16 @@ __all__ = [
     "DVQExecutor",
     "ExecutionBackend",
     "ExecutionError",
+    "ExecutionOutcome",
     "ExecutionResult",
     "InterpreterBackend",
     "apply_aggregate",
     "canonical_order",
     "canonical_value",
+    "classify_failure",
+    "explain_execution",
     "normalize_result",
     "order_index",
+    "parse_failure_outcome",
     "resolve_backend",
 ]

@@ -18,21 +18,121 @@ or that compare values across incompatible types.
 
 from __future__ import annotations
 
-from typing import List, Tuple, Union
-
-try:  # Protocol is 3.8+, runtime_checkable decorates it for isinstance checks
-    from typing import Protocol, runtime_checkable
-except ImportError:  # pragma: no cover - ancient pythons
-    Protocol = object  # type: ignore[assignment]
-
-    def runtime_checkable(cls):  # type: ignore[misc]
-        return cls
+import re
+from dataclasses import dataclass
+from typing import List, Protocol, Tuple, Union, runtime_checkable
 
 from repro.database.database import Database
 from repro.dvq.nodes import DVQuery
 from repro.executor.errors import ExecutionError
 from repro.executor.executor import DVQExecutor, ExecutionResult
 from repro.executor.ordering import canonical_order
+
+
+#: Stable failure categories shared by every backend.  The differential suite
+#: asserts that the interpreter and SQLite classify the same broken query into
+#: the same category (``tests/test_sql_differential.py``).
+CATEGORY_OK = "ok"
+CATEGORY_PARSE_ERROR = "parse_error"
+CATEGORY_MISSING_TABLE = "missing_table"
+CATEGORY_MISSING_COLUMN = "missing_column"
+CATEGORY_UNSUPPORTED = "unsupported"
+CATEGORY_ENGINE_ERROR = "engine_error"
+
+
+@dataclass(frozen=True)
+class ExecutionOutcome:
+    """The structured verdict of one execution attempt.
+
+    Replaces the bare ``can_execute`` boolean wherever the *cause* of a
+    failure matters — most importantly the execution-guided repair loop
+    (:class:`repro.pipeline.stages.ExecutionGuidedRepairStage`), which feeds
+    ``category`` and ``missing`` back into the debugging LLM.
+
+    Attributes:
+        category: one of the ``CATEGORY_*`` constants above.
+        message: the human-readable error (empty on success).
+        missing: identifiers (tables or columns) the error names as absent
+            from the target database, when the category is
+            ``missing_table`` / ``missing_column``.
+    """
+
+    category: str = CATEGORY_OK
+    message: str = ""
+    missing: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.category == CATEGORY_OK
+
+    def diagnosis(self) -> str:
+        """One line suitable for a repair prompt or a log."""
+        if self.ok:
+            return "the query executed and produced a chart"
+        parts = [self.category.replace("_", " ")]
+        if self.missing:
+            parts.append("missing: " + ", ".join(self.missing))
+        if self.message:
+            parts.append(self.message)
+        return " — ".join(parts)
+
+
+#: ``(regex, category)`` in match priority order; the first group of each
+#: pattern captures the missing identifier.  The messages are raised by both
+#: the interpreter (``executor/executor.py``) and the SQL compiler
+#: (``sql/compiler.py``), which is what keeps the categories engine-agnostic.
+_FAILURE_PATTERNS: List[Tuple[re.Pattern, str]] = [
+    (re.compile(r"has no column '([^']+)'"), CATEGORY_MISSING_COLUMN),
+    (re.compile(r"Unknown column '([^']+)'"), CATEGORY_MISSING_COLUMN),
+    (re.compile(r"Column '([^']+)' does not exist"), CATEGORY_MISSING_COLUMN),
+    (re.compile(r"has no table '([^']+)'"), CATEGORY_MISSING_TABLE),
+    (re.compile(r"Unknown table or alias '([^']+)'"), CATEGORY_MISSING_TABLE),
+    (re.compile(r"Unsupported \w+ '?([^']*)'?"), CATEGORY_UNSUPPORTED),
+]
+
+
+def classify_failure(error: ExecutionError) -> ExecutionOutcome:
+    """Map an :class:`~repro.executor.errors.ExecutionError` to an outcome.
+
+    Classification is by message shape, so the two engines — which raise
+    their own errors at different points (the compiler at compile time, the
+    interpreter mid-execution) — land in the same category for the same
+    broken query.
+    """
+    message = str(error)
+    for pattern, category in _FAILURE_PATTERNS:
+        match = pattern.search(message)
+        if match:
+            missing: Tuple[str, ...] = ()
+            if category in (CATEGORY_MISSING_TABLE, CATEGORY_MISSING_COLUMN):
+                missing = tuple(name for name in (match.group(1),) if name)
+            return ExecutionOutcome(category=category, message=message, missing=missing)
+    return ExecutionOutcome(category=CATEGORY_ENGINE_ERROR, message=message)
+
+
+def parse_failure_outcome(text: str) -> ExecutionOutcome:
+    """The outcome for a candidate that does not even parse as a DVQ."""
+    snippet = " ".join(text.split())[:120]
+    return ExecutionOutcome(
+        category=CATEGORY_PARSE_ERROR,
+        message=f"not a parseable DVQ: {snippet!r}" if snippet else "empty candidate",
+    )
+
+
+def explain_execution(
+    backend: "ExecutionBackend", query: DVQuery, database: Database
+) -> ExecutionOutcome:
+    """Run ``query`` on ``backend`` and classify the result.
+
+    The shared implementation behind ``explain_failure`` on both backends —
+    kept module-level so any object satisfying the protocol gets structured
+    outcomes for free.
+    """
+    try:
+        backend.execute(query, database)
+    except ExecutionError as error:
+        return classify_failure(error)
+    return ExecutionOutcome()
 
 
 @runtime_checkable
@@ -52,6 +152,9 @@ class ExecutionBackend(Protocol):
         ...  # pragma: no cover - protocol stub
 
     def can_execute(self, query: DVQuery, database: Database) -> bool:
+        ...  # pragma: no cover - protocol stub
+
+    def explain_failure(self, query: DVQuery, database: Database) -> ExecutionOutcome:
         ...  # pragma: no cover - protocol stub
 
 
@@ -116,6 +219,10 @@ class InterpreterBackend:
         except ExecutionError:
             return False
         return True
+
+    def explain_failure(self, query: DVQuery, database: Database) -> ExecutionOutcome:
+        """Like :meth:`can_execute`, but keeping the failure cause structured."""
+        return explain_execution(self, query, database)
 
 
 #: Accepted by every ``execution_backend`` knob: a backend name or an instance.

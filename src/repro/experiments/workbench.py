@@ -10,13 +10,13 @@ so two workbenches with the same configuration produce identical numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-from repro.core.ablation import build_ablation_variants
+from repro.core.ablation import build_ablation_variants, build_repair_variants
 from repro.core.config import GREDConfig
 from repro.core.pipeline import GRED
 from repro.evaluation.evaluator import EvaluationRun, ModelEvaluator
-from repro.evaluation.metrics import EvaluationResult
+from repro.evaluation.metrics import EvaluationResult, execution_rate_uplift
 from repro.models.base import TextToVisModel
 from repro.models.rgvisnet import RGVisNetModel
 from repro.models.seq2vis import Seq2VisModel
@@ -50,6 +50,10 @@ class WorkbenchConfig:
             :attr:`~repro.evaluation.evaluator.EvaluationRun.execution_rate`;
             ``None`` (default) skips the execution check, keeping runs
             identical to the historical behaviour.
+        max_repair_rounds: prepare GRED with the execution-guided repair
+            loop enabled for this many rounds (``0`` keeps the historical
+            pipeline).  Uses ``execution_backend`` (falling back to the
+            interpreter) for the in-loop execution checks.
     """
 
     scale: float = 0.15
@@ -59,6 +63,7 @@ class WorkbenchConfig:
     max_workers: int = 1
     llm_cache: bool = True
     execution_backend: Optional[str] = None
+    max_repair_rounds: int = 0
 
 
 @dataclass
@@ -115,10 +120,19 @@ class Workbench:
         completions instead of recomputing them.
         """
         if self._gred is None:
-            model = GRED(GREDConfig(top_k=self.config.gred_top_k, use_llm_cache=self.config.llm_cache))
+            model = GRED(self._gred_config())
             model.fit(self.dataset.train, self.dataset.catalog)
             self._gred = model
         return self._gred
+
+    def _gred_config(self) -> GREDConfig:
+        """The workbench's GRED configuration."""
+        return GREDConfig(
+            top_k=self.config.gred_top_k,
+            use_llm_cache=self.config.llm_cache,
+            max_repair_rounds=self.config.max_repair_rounds,
+            execution_backend=self.config.execution_backend or "interpreter",
+        )
 
     def gred_ablations(self) -> Dict[str, GRED]:
         """The four ablation variants of Table 4, each prepared on the training split."""
@@ -126,6 +140,67 @@ class Workbench:
         for variant in variants.values():
             variant.fit(self.dataset.train, self.dataset.catalog)
         return variants
+
+    def gred_repair_variants(
+        self, max_repair_rounds: int = 2, use_debugger: bool = True
+    ) -> Dict[str, GRED]:
+        """The repair-loop ablation pair, each prepared on the training split.
+
+        Delegates to :func:`~repro.core.ablation.build_repair_variants`: two
+        otherwise-identical pipelines, repair loop off vs on, for measuring
+        the execution-rate uplift of execution-guided repair.
+        ``use_debugger=False`` studies the loop on the "w/o DBG" ablation,
+        where execution failures are most frequent.
+        """
+        variants = build_repair_variants(
+            top_k=self.config.gred_top_k,
+            max_repair_rounds=max_repair_rounds,
+            execution_backend=self.config.execution_backend or "interpreter",
+            use_debugger=use_debugger,
+            use_llm_cache=self.config.llm_cache,
+        )
+        for variant in variants.values():
+            variant.fit(self.dataset.train, self.dataset.catalog)
+        return variants
+
+    # -- repair-loop study ---------------------------------------------------------
+
+    def repair_uplift(
+        self,
+        kind: VariantKind = VariantKind.SCHEMA,
+        max_repair_rounds: int = 2,
+        use_debugger: bool = True,
+    ) -> Dict[str, object]:
+        """Execution-rate uplift of the repair loop on one variant test set.
+
+        Evaluates the repair-off / repair-on pair of
+        :meth:`gred_repair_variants` on the ``kind`` test set with execution
+        checking enabled, and reports both execution rates, the absolute
+        uplift and the run's
+        :class:`~repro.evaluation.metrics.RepairSummary`.
+        """
+        variants = self.gred_repair_variants(
+            max_repair_rounds=max_repair_rounds, use_debugger=use_debugger
+        )
+        backend = self.config.execution_backend or "interpreter"
+        evaluator = ModelEvaluator(
+            limit=self.config.evaluation_limit,
+            max_workers=self.config.max_workers,
+            execution_backend=backend,
+        )
+        (baseline_name, baseline), (repaired_name, repaired) = variants.items()
+        dataset = self.suite.variant(kind)
+        baseline_run = evaluator.evaluate(baseline, dataset, model_name=baseline_name)
+        repaired_run = evaluator.evaluate(repaired, dataset, model_name=repaired_name)
+        return {
+            "variant": kind.value,
+            "execution_rate_without_repair": baseline_run.execution_rate,
+            "execution_rate_with_repair": repaired_run.execution_rate,
+            "uplift": execution_rate_uplift(
+                baseline_run.execution_rate, repaired_run.execution_rate
+            ),
+            "repair_summary": repaired_run.repair_summary,
+        }
 
     # -- evaluation -----------------------------------------------------------------
 

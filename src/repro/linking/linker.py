@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-from repro.database.schema import Column, DatabaseSchema
+from repro.database.schema import DatabaseSchema
 from repro.embeddings.tokenization import char_ngrams, content_words, split_identifier
 from repro.robustness.synonyms import SynonymLexicon, default_lexicon
 

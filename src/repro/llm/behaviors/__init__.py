@@ -3,11 +3,12 @@
 from repro.llm.behaviors.annotation import AnnotationBehaviour
 from repro.llm.behaviors.generation import GenerationBehaviour
 from repro.llm.behaviors.retune import RetuneBehaviour
-from repro.llm.behaviors.debug import DebugBehaviour
+from repro.llm.behaviors.debug import DebugBehaviour, RepairBehaviour
 
 __all__ = [
     "AnnotationBehaviour",
     "DebugBehaviour",
     "GenerationBehaviour",
+    "RepairBehaviour",
     "RetuneBehaviour",
 ]

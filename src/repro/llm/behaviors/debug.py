@@ -1,14 +1,18 @@
-"""Annotation-based debugging behaviour (the Annotation-based Debugger's LLM call).
+"""Annotation-based debugging behaviours (the Debugger's and Repairer's LLM calls).
 
-Given an annotated database schema and a DVQ, replace every table or column
-reference that does not exist in the schema with the semantically closest one,
-leaving references that already exist untouched (the prompt's explicit
-instruction).
+Given an annotated database schema and a DVQ, :class:`DebugBehaviour` replaces
+every table or column reference that does not exist in the schema with the
+semantically closest one, leaving references that already exist untouched (the
+prompt's explicit instruction).  :class:`RepairBehaviour` is its
+execution-guided sibling: the prompt additionally carries a structured
+execution error, and because the candidate is *known* to fail there is nothing
+to lose — linking drops its confidence threshold and the identifiers the
+engine flagged are remapped even when they exist elsewhere in the database.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.database.schema import DatabaseSchema
 from repro.dvq.nodes import (
@@ -21,8 +25,71 @@ from repro.dvq.nodes import (
 from repro.dvq.normalize import try_parse
 from repro.dvq.serializer import serialize_dvq
 from repro.linking.linker import SchemaLinker
-from repro.llm.parsing import parse_debug_prompt
+from repro.llm.parsing import parse_debug_prompt, parse_repair_prompt
 from repro.robustness.synonyms import SynonymLexicon, default_lexicon
+
+
+def transform_refs(
+    query: DVQuery,
+    repair_ref: Callable[[ColumnRef], ColumnRef],
+    repair_table: Callable[[str], str],
+) -> DVQuery:
+    """Rebuild ``query`` with every table name and column reference mapped.
+
+    The single AST walk shared by the conservative debug pass and the
+    aggressive repair pass — only the mapping functions differ.
+    """
+
+    def repair_expr(expr):
+        if isinstance(expr, ColumnRef):
+            return repair_ref(expr)
+        return AggregateExpr(
+            function=expr.function, argument=repair_ref(expr.argument), distinct=expr.distinct
+        )
+
+    new_select = tuple(SelectItem(repair_expr(item.expr)) for item in query.select)
+    new_joins = tuple(
+        join.__class__(
+            table=repair_table(join.table),
+            left=repair_ref(join.left),
+            right=repair_ref(join.right),
+            alias=join.alias,
+        )
+        for join in query.joins
+    )
+    new_where = None
+    if query.where is not None:
+        new_where = query.where.__class__(
+            conditions=tuple(
+                Condition(
+                    column=repair_ref(condition.column),
+                    operator=condition.operator,
+                    value=condition.value,
+                    value2=condition.value2,
+                    negated=condition.negated,
+                )
+                for condition in query.where.conditions
+            ),
+            connectors=query.where.connectors,
+        )
+    new_group = tuple(repair_ref(column) for column in query.group_by)
+    new_order = None
+    if query.order_by is not None:
+        new_order = query.order_by.__class__(
+            expr=repair_expr(query.order_by.expr), direction=query.order_by.direction
+        )
+    new_bin = None
+    if query.bin is not None:
+        new_bin = query.bin.__class__(column=repair_ref(query.bin.column), unit=query.bin.unit)
+    return query.replace(
+        select=new_select,
+        table=repair_table(query.table),
+        joins=new_joins,
+        where=new_where,
+        group_by=new_group,
+        order_by=new_order,
+        bin=new_bin,
+    )
 
 
 class DebugBehaviour:
@@ -55,56 +122,10 @@ class DebugBehaviour:
         def repair_ref(ref: ColumnRef) -> ColumnRef:
             return self._repair_column(ref, schema, preferred_tables)
 
-        def repair_expr(expr):
-            if isinstance(expr, ColumnRef):
-                return repair_ref(expr)
-            return AggregateExpr(
-                function=expr.function, argument=repair_ref(expr.argument), distinct=expr.distinct
-            )
+        def repair_table(name: str) -> str:
+            return table if name == query.table else self._repair_table(name, schema)
 
-        new_select = tuple(SelectItem(repair_expr(item.expr)) for item in query.select)
-        new_joins = tuple(
-            join.__class__(
-                table=self._repair_table(join.table, schema),
-                left=repair_ref(join.left),
-                right=repair_ref(join.right),
-                alias=join.alias,
-            )
-            for join in query.joins
-        )
-        new_where = None
-        if query.where is not None:
-            new_where = query.where.__class__(
-                conditions=tuple(
-                    Condition(
-                        column=repair_ref(condition.column),
-                        operator=condition.operator,
-                        value=condition.value,
-                        value2=condition.value2,
-                        negated=condition.negated,
-                    )
-                    for condition in query.where.conditions
-                ),
-                connectors=query.where.connectors,
-            )
-        new_group = tuple(repair_ref(column) for column in query.group_by)
-        new_order = None
-        if query.order_by is not None:
-            new_order = query.order_by.__class__(
-                expr=repair_expr(query.order_by.expr), direction=query.order_by.direction
-            )
-        new_bin = None
-        if query.bin is not None:
-            new_bin = query.bin.__class__(column=repair_ref(query.bin.column), unit=query.bin.unit)
-        return query.replace(
-            select=new_select,
-            table=table,
-            joins=new_joins,
-            where=new_where,
-            group_by=new_group,
-            order_by=new_order,
-            bin=new_bin,
-        )
+        return transform_refs(query, repair_ref, repair_table)
 
     def _repair_table(self, table_name: str, schema: DatabaseSchema) -> str:
         if schema.has_table(table_name):
@@ -138,3 +159,73 @@ class DebugBehaviour:
         if candidate is None:
             return ref
         return ColumnRef(column=candidate.column, table=ref.table)
+
+
+class RepairBehaviour(DebugBehaviour):
+    """Execution-guided repair: the debugger with the safety catch off.
+
+    Dispatched on :data:`repro.llm.markers.TASK_REPAIR` prompts, which carry a
+    structured execution error.  Two things change relative to
+    :class:`DebugBehaviour`:
+
+    * the linker's confidence threshold drops to zero — the candidate is known
+      to fail, so mapping an out-of-schema reference to the best available
+      column can only help;
+    * identifiers the engine *named* as missing are remapped even when they
+      exist somewhere in the database — the classic case is a column that
+      lives in a table the query never reads (``FROM products`` referencing
+      ``ORDER_DATE``), which the conservative pass must leave untouched.
+    """
+
+    name = "repair"
+
+    def __init__(self, lexicon: Optional[SynonymLexicon] = None):
+        super().__init__(lexicon=lexicon)
+        self.linker = SchemaLinker(
+            lexicon=self.lexicon,
+            use_synonyms=True,
+            use_char_similarity=True,
+            min_score=0.0,
+        )
+
+    def run(self, prompt: str) -> str:
+        schema, _annotations, original, missing = parse_repair_prompt(prompt)
+        if not original:
+            return ""
+        query = try_parse(original)
+        if query is None or not schema.tables:
+            return original
+        repaired = self.debug_query(query, schema)
+        repaired = self._retarget_flagged(repaired, schema, missing)
+        return serialize_dvq(repaired)
+
+    def _retarget_flagged(
+        self, query: DVQuery, schema: DatabaseSchema, missing: List[str]
+    ) -> DVQuery:
+        """Remap references the execution error named, scoped to the read tables."""
+        flagged = {name.lower() for name in missing}
+        if not flagged:
+            return query
+        preferred = [query.table] + [join.table for join in query.joins]
+        in_scope = {name.lower() for name in preferred}
+        scoped_tables = tuple(
+            table for table in schema.tables if table.name.lower() in in_scope
+        ) or schema.tables
+        scoped = DatabaseSchema(
+            name=schema.name, tables=scoped_tables, foreign_keys=schema.foreign_keys
+        )
+        scoped_columns = {column.name.lower() for _, column in scoped.all_columns()}
+
+        def repair_ref(ref: ColumnRef) -> ColumnRef:
+            if ref.column == "*" or ref.column.lower() not in flagged:
+                return ref
+            if ref.column.lower() in scoped_columns:
+                # resolvable within the tables the query reads; the failure
+                # must have another cause, leave the reference alone
+                return ref
+            candidate = self.linker.map_foreign_column(ref.column, scoped, preferred)
+            if candidate is None:
+                return ref
+            return ColumnRef(column=candidate.column, table=ref.table)
+
+        return transform_refs(query, repair_ref, lambda name: name)

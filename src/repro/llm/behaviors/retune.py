@@ -8,7 +8,7 @@ follow the corpus convention, and aggregate spellings are normalised.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List
 
 from repro.dvq.nodes import (
     AggregateExpr,

@@ -15,6 +15,7 @@ REFERENCE_DVQS_HEADER = "### Reference DVQs:"
 ORIGINAL_DVQ_HEADER = "### Original DVQ:"
 MODIFIED_DVQ_HEADER = "### Modified DVQ:"
 REVISED_DVQ_HEADER = "### Revised DVQ:"
+EXECUTION_ERROR_HEADER = "### Execution Error:"
 ANSWER_PREFIX = "A:"
 
 #: Task sentinels used to route a prompt to the right behaviour.
@@ -22,3 +23,4 @@ TASK_ANNOTATION = "Please generate detailed natural language annotations"
 TASK_GENERATION = "Generate DVQs based on their correspoding Database Schemas"
 TASK_RETUNE = "please modify the Original DVQ to mimic the style"
 TASK_DEBUG = "Please replace the column names in the Data Visualization Query"
+TASK_REPAIR = "Please repair the Data Visualization Query so that it executes"

@@ -115,6 +115,26 @@ def parse_retune_prompt(text: str) -> Tuple[List[str], str]:
     return references, original
 
 
+def parse_repair_prompt(text: str) -> Tuple[DatabaseSchema, str, str, List[str]]:
+    """Parse a repair prompt into (schema, annotations, original DVQ, missing names).
+
+    The repair prompt shares the debugging layout plus an
+    ``### Execution Error:`` section whose ``# missing: a , b`` line lists the
+    identifiers the execution engine reported as absent.
+    """
+    schema, annotations, original = parse_debug_prompt(text)
+    missing: List[str] = []
+    for block in _sections(text, markers.EXECUTION_ERROR_HEADER):
+        for line in block.splitlines():
+            line = line.strip().lstrip("#").strip()
+            if line.lower().startswith("missing:"):
+                names = line.split(":", 1)[1]
+                missing.extend(
+                    name.strip() for name in names.split(",") if name.strip()
+                )
+    return schema, annotations, original, missing
+
+
 def parse_debug_prompt(text: str) -> Tuple[DatabaseSchema, str, str]:
     """Parse a debugging prompt into (schema, annotation text, original DVQ)."""
     schema_blocks = _sections(text, markers.SCHEMA_HEADER)

@@ -6,7 +6,7 @@ from typing import Optional, Sequence
 
 from repro.llm import markers
 from repro.llm.behaviors.annotation import AnnotationBehaviour
-from repro.llm.behaviors.debug import DebugBehaviour
+from repro.llm.behaviors.debug import DebugBehaviour, RepairBehaviour
 from repro.llm.behaviors.generation import GenerationBehaviour
 from repro.llm.behaviors.retune import RetuneBehaviour
 from repro.llm.interface import ChatMessage, ChatModel, CompletionLog, CompletionParams, CompletionRecord
@@ -28,6 +28,7 @@ class SimulatedChatModel(ChatModel):
         self.generation = GenerationBehaviour(lexicon=self.lexicon)
         self.retune = RetuneBehaviour()
         self.debug = DebugBehaviour(lexicon=self.lexicon)
+        self.repair = RepairBehaviour(lexicon=self.lexicon)
         self.log = CompletionLog()
 
     def complete(
@@ -44,6 +45,8 @@ class SimulatedChatModel(ChatModel):
         return response
 
     def _dispatch(self, prompt: str):
+        if markers.TASK_REPAIR.lower() in prompt.lower():
+            return self.repair.name, self.repair.run(prompt)
         if markers.TASK_DEBUG.lower() in prompt.lower():
             return self.debug.name, self.debug.run(prompt)
         if markers.TASK_RETUNE.lower() in prompt.lower():

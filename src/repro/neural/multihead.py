@@ -5,8 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.neural.features import BagOfWordsFeaturizer
 from repro.neural.mlp import MLPClassifier, TrainingConfig
 

@@ -1,0 +1,62 @@
+"""Composable stage-plan pipeline.
+
+The subsystem that turned ``GRED.trace``'s hard-coded ``if`` branches into
+data: a :class:`Stage` protocol, a :class:`StageContext` threading the
+NLQ / database / candidate / artifact history through the run, immutable
+:class:`StagePlan` values built from :class:`~repro.core.config.GREDConfig`
+(:func:`build_stage_plan`), and middleware for timing, cache accounting and
+retries.  :class:`ExecutionGuidedRepairStage` closes the loop between the
+execution backend and the debugging LLM — see ``docs/architecture.md``
+("Stage plans and the execution-guided repair loop").
+"""
+
+from repro.pipeline.context import StageContext, StageRecord
+from repro.pipeline.middleware import (
+    CacheStatsMiddleware,
+    Middleware,
+    RetryMiddleware,
+    StageRunner,
+    TimingMiddleware,
+)
+from repro.pipeline.plan import StagePlan, build_stage_plan, default_middleware
+from repro.pipeline.stages import (
+    DEBUG,
+    GENERATE,
+    REPAIR,
+    RETUNE,
+    VERIFY,
+    DebugStage,
+    ExecutionGuidedRepairStage,
+    GenerateStage,
+    RetuneStage,
+    Stage,
+    VerifyExecutionStage,
+    check_execution,
+    stage_name,
+)
+
+__all__ = [
+    "DEBUG",
+    "GENERATE",
+    "REPAIR",
+    "RETUNE",
+    "VERIFY",
+    "CacheStatsMiddleware",
+    "DebugStage",
+    "ExecutionGuidedRepairStage",
+    "GenerateStage",
+    "Middleware",
+    "RetryMiddleware",
+    "RetuneStage",
+    "Stage",
+    "StageContext",
+    "StagePlan",
+    "StageRecord",
+    "StageRunner",
+    "TimingMiddleware",
+    "VerifyExecutionStage",
+    "build_stage_plan",
+    "check_execution",
+    "default_middleware",
+    "stage_name",
+]

@@ -1,0 +1,88 @@
+"""The state a stage plan threads through its stages.
+
+A :class:`StageContext` carries one prediction's inputs (NLQ, target
+database), the current DVQ candidate, and the full artifact history — one
+:class:`StageRecord` per stage execution.  Stages communicate exclusively
+through the context, which is what makes plans composable: inserting,
+removing or reordering stages never requires touching another stage's code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.database.database import Database
+from repro.executor.backend import ExecutionOutcome
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """One stage execution: which stage ran and the candidate it left behind.
+
+    Attributes:
+        stage: stage name (``generate`` / ``retune`` / ``debug`` / ``repair``
+            / ``verify``).
+        dvq: the DVQ candidate after the stage ran.
+        changed: whether the stage altered the candidate.
+        detail: optional structured note — the repair stage records the
+            failure diagnosis it acted on, the verify stage its verdict.
+    """
+
+    stage: str
+    dvq: str
+    changed: bool = False
+    detail: str = ""
+
+
+@dataclass
+class StageContext:
+    """Mutable state shared by the stages of one pipeline run.
+
+    Attributes:
+        nlq: the natural-language question being answered.
+        database: the target database.
+        dvq: the current DVQ candidate (empty before the first stage).
+        records: chronological artifact history, one record per stage run.
+        timings: per-stage wall-clock seconds, stamped by
+            :class:`~repro.pipeline.middleware.TimingMiddleware`.
+        executes: whether the final candidate executed, when any
+            execution-aware stage (verify / repair) ran; ``None`` otherwise.
+        outcome: the structured verdict of the most recent execution check.
+        outcome_dvq: the candidate ``outcome`` was computed for — lets a
+            later stage reuse the verdict instead of re-executing when the
+            candidate has not changed since.
+        repair_rounds: LLM repair rounds spent by the repair stage.
+        meta: free-form per-run annotations (cache statistics, repair
+            summaries, ...) keyed by producer.
+    """
+
+    nlq: str
+    database: Database
+    dvq: str = ""
+    records: List[StageRecord] = field(default_factory=list)
+    timings: Dict[str, float] = field(default_factory=dict)
+    executes: Optional[bool] = None
+    outcome: Optional[ExecutionOutcome] = None
+    outcome_dvq: Optional[str] = None
+    repair_rounds: int = 0
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def advance(self, stage: str, dvq: str, detail: str = "") -> StageRecord:
+        """Install ``dvq`` as the current candidate and record the step."""
+        record = StageRecord(stage=stage, dvq=dvq, changed=dvq != self.dvq, detail=detail)
+        self.records.append(record)
+        self.dvq = dvq
+        return record
+
+    def set_outcome(self, outcome: ExecutionOutcome) -> None:
+        """Install an execution verdict for the *current* candidate."""
+        self.outcome = outcome
+        self.outcome_dvq = self.dvq
+        self.executes = outcome.ok
+
+    def cached_outcome(self) -> Optional[ExecutionOutcome]:
+        """The stored verdict, if it still describes the current candidate."""
+        if self.outcome is not None and self.outcome_dvq == self.dvq:
+            return self.outcome
+        return None

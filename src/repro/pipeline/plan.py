@@ -1,0 +1,169 @@
+"""Declarative stage plans: the pipeline as data instead of branches.
+
+A :class:`StagePlan` is an immutable sequence of stages plus a middleware
+chain.  :func:`build_stage_plan` derives the default plan from a
+:class:`~repro.core.config.GREDConfig` — ablation switches and the repair /
+verify knobs become *plan edits* (a stage present or absent) rather than
+``if`` branches inside the run loop, and custom experiments edit plans with
+:meth:`~StagePlan.without` / :meth:`~StagePlan.with_stage` /
+:meth:`~StagePlan.replaced` instead of subclassing the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+
+from repro.executor.backend import ExecutionBackend
+from repro.pipeline.context import StageContext
+from repro.pipeline.middleware import CacheStatsMiddleware, Middleware, TimingMiddleware
+from repro.pipeline.stages import (
+    DebugStage,
+    ExecutionGuidedRepairStage,
+    GenerateStage,
+    RetuneStage,
+    Stage,
+    VerifyExecutionStage,
+    stage_name,
+)
+from repro.runtime.cache import LLMCache
+
+if TYPE_CHECKING:  # type-only: keeps repro.pipeline importable without repro.core
+    from repro.core.config import GREDConfig
+    from repro.core.debugger import AnnotationBasedDebugger
+    from repro.core.generator import NLQRetrievalGenerator
+    from repro.core.retuner import DVQRetrievalRetuner
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """An executable pipeline: ordered stages wrapped by shared middleware.
+
+    Plans are values — every edit returns a new plan — so a fitted model can
+    expose its plan and callers can derive variants without mutating shared
+    state.
+    """
+
+    stages: Tuple[Stage, ...]
+    middleware: Tuple[Middleware, ...] = ()
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(stage_name(stage) for stage in self.stages)
+
+    def describe(self) -> str:
+        """Human-readable dataflow, e.g. ``generate -> retune -> debug``."""
+        return " -> ".join(self.names()) or "<empty plan>"
+
+    def stage(self, name: str) -> Stage:
+        for stage in self.stages:
+            if stage_name(stage) == name:
+                return stage
+        raise KeyError(f"Plan has no stage {name!r} (stages: {self.describe()})")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.names()
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, context: StageContext) -> StageContext:
+        """Run every stage in order over ``context`` and return it."""
+        for stage in self.stages:
+            runner = stage.run
+            for middleware in reversed(self.middleware):
+                runner = middleware.wrap(stage, runner)
+            runner(context)
+        return context
+
+    # -- plan edits ----------------------------------------------------------
+
+    def _index(self, name: str) -> int:
+        for index, stage in enumerate(self.stages):
+            if stage_name(stage) == name:
+                return index
+        raise KeyError(f"Plan has no stage {name!r} (stages: {self.describe()})")
+
+    def with_stage(
+        self, stage: Stage, before: Optional[str] = None, after: Optional[str] = None
+    ) -> "StagePlan":
+        """A plan with ``stage`` inserted (appended when no anchor is given)."""
+        if before is not None and after is not None:
+            raise ValueError("Pass at most one of before/after")
+        stages = list(self.stages)
+        if before is not None:
+            stages.insert(self._index(before), stage)
+        elif after is not None:
+            stages.insert(self._index(after) + 1, stage)
+        else:
+            stages.append(stage)
+        return replace(self, stages=tuple(stages))
+
+    def without(self, name: str) -> "StagePlan":
+        """A plan with the named stage removed (missing stages are ignored)."""
+        stages = tuple(stage for stage in self.stages if stage_name(stage) != name)
+        return replace(self, stages=stages)
+
+    def replaced(self, name: str, stage: Stage) -> "StagePlan":
+        """A plan with the named stage swapped for ``stage``."""
+        index = self._index(name)
+        stages = list(self.stages)
+        stages[index] = stage
+        return replace(self, stages=tuple(stages))
+
+    def with_middleware(self, *middleware: Middleware) -> "StagePlan":
+        """A plan with extra middleware appended (innermost last)."""
+        return replace(self, middleware=self.middleware + tuple(middleware))
+
+
+def default_middleware(llm_cache: Optional[LLMCache] = None) -> Tuple[Middleware, ...]:
+    """Timing always; per-stage cache accounting when a cache is interposed."""
+    middleware: Tuple[Middleware, ...] = (TimingMiddleware(),)
+    if llm_cache is not None:
+        middleware += (CacheStatsMiddleware(llm_cache),)
+    return middleware
+
+
+def build_stage_plan(
+    config: "GREDConfig",
+    generator: "NLQRetrievalGenerator",
+    retuner: "DVQRetrievalRetuner",
+    debugger: "AnnotationBasedDebugger",
+    execution_backend: Optional[ExecutionBackend] = None,
+    llm_cache: Optional[LLMCache] = None,
+    middleware: Optional[Sequence[Middleware]] = None,
+) -> StagePlan:
+    """The default GRED plan for ``config``.
+
+    Ablation switches map one-to-one onto stage membership:
+
+    * ``use_retuner`` / ``use_debugger`` include stages (b) and (c);
+    * ``max_repair_rounds > 0`` appends the execution-guided repair loop;
+    * ``verify_execution`` appends the final execution check (which reuses
+      the repair loop's verdict when both are enabled).
+
+    Raises:
+        ValueError: when a stage needs an execution backend and none was
+            given.
+    """
+    stages: Tuple[Stage, ...] = (GenerateStage(generator),)
+    if config.use_retuner:
+        stages += (RetuneStage(retuner),)
+    if config.use_debugger:
+        stages += (DebugStage(debugger),)
+    if config.max_repair_rounds > 0:
+        if execution_backend is None:
+            raise ValueError(
+                "max_repair_rounds > 0 requires an execution backend "
+                "(set GREDConfig.execution_backend)"
+            )
+        stages += (
+            ExecutionGuidedRepairStage(
+                debugger, execution_backend, max_rounds=config.max_repair_rounds
+            ),
+        )
+    if config.verify_execution:
+        if execution_backend is None:
+            raise ValueError("verify_execution requires an execution backend")
+        stages += (VerifyExecutionStage(execution_backend),)
+    if middleware is None:
+        middleware = default_middleware(llm_cache)
+    return StagePlan(stages=stages, middleware=tuple(middleware))

@@ -1,0 +1,173 @@
+"""The :class:`Stage` protocol and GRED's concrete pipeline stages.
+
+Each stage is a small object with a ``name`` and a ``run(context)`` method
+that reads and mutates a :class:`~repro.pipeline.context.StageContext`.  The
+three paper stages (generate / retune / debug) wrap the existing LLM callers
+unchanged; the execution-aware stages (verify / repair) close the loop
+between the :class:`~repro.executor.backend.ExecutionBackend` and the LLM.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
+
+from repro.dvq.normalize import try_parse
+from repro.executor.backend import (
+    ExecutionBackend,
+    ExecutionOutcome,
+    parse_failure_outcome,
+)
+from repro.pipeline.context import StageContext
+
+if TYPE_CHECKING:  # imported lazily to keep repro.pipeline importable standalone
+    from repro.core.debugger import AnnotationBasedDebugger
+    from repro.core.generator import NLQRetrievalGenerator
+    from repro.core.retuner import DVQRetrievalRetuner
+
+#: Canonical stage names; timings and records use these keys.
+GENERATE, RETUNE, DEBUG, REPAIR, VERIFY = "generate", "retune", "debug", "repair", "verify"
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One step of a stage plan.
+
+    Implementations read the current candidate from ``context.dvq`` and
+    publish their result with :meth:`StageContext.advance` (and, for
+    execution-aware stages, :meth:`StageContext.set_outcome`), so any stage
+    can be composed with any other.
+    """
+
+    name: str
+
+    def run(self, context: StageContext) -> None:
+        ...  # pragma: no cover - protocol stub
+
+
+class GenerateStage:
+    """Stage (a): the NLQ-Retrieval Generator produces the initial candidate."""
+
+    name = GENERATE
+
+    def __init__(self, generator: NLQRetrievalGenerator):
+        self.generator = generator
+
+    def run(self, context: StageContext) -> None:
+        context.advance(self.name, self.generator.generate(context.nlq, context.database))
+
+
+class RetuneStage:
+    """Stage (b): the DVQ-Retrieval Retuner restyles a non-empty candidate."""
+
+    name = RETUNE
+
+    def __init__(self, retuner: DVQRetrievalRetuner):
+        self.retuner = retuner
+
+    def run(self, context: StageContext) -> None:
+        dvq = self.retuner.retune(context.dvq) if context.dvq else context.dvq
+        context.advance(self.name, dvq)
+
+
+class DebugStage:
+    """Stage (c): the Annotation-based Debugger repairs schema references."""
+
+    name = DEBUG
+
+    def __init__(self, debugger: AnnotationBasedDebugger):
+        self.debugger = debugger
+
+    def run(self, context: StageContext) -> None:
+        dvq = self.debugger.debug(context.dvq, context.database) if context.dvq else context.dvq
+        context.advance(self.name, dvq)
+
+
+def check_execution(
+    backend: ExecutionBackend, dvq: str, context: StageContext
+) -> ExecutionOutcome:
+    """Parse and execute ``dvq`` against the context's database, classified."""
+    parsed = try_parse(dvq)
+    if parsed is None:
+        return parse_failure_outcome(dvq)
+    return backend.explain_failure(parsed, context.database)
+
+
+class VerifyExecutionStage:
+    """Executes the candidate and records the structured verdict.
+
+    The paper's "no chart" check as a plan stage.  Reuses the verdict left by
+    an earlier execution-aware stage (the repair loop) when the candidate has
+    not changed since, so enabling both costs one execution, not two.
+    """
+
+    name = VERIFY
+
+    def __init__(self, backend: ExecutionBackend):
+        self.backend = backend
+
+    def run(self, context: StageContext) -> None:
+        outcome = context.cached_outcome()
+        if outcome is None:
+            outcome = check_execution(self.backend, context.dvq, context)
+        context.advance(self.name, context.dvq, detail=outcome.diagnosis())
+        context.set_outcome(outcome)
+
+
+class ExecutionGuidedRepairStage:
+    """Runs the candidate and feeds execution failures back into the debugger.
+
+    The loop that turns ``verify_execution`` from a metric into a
+    self-correction subsystem: execute the candidate on the configured
+    backend; on failure, hand the structured
+    :class:`~repro.executor.backend.ExecutionOutcome` to
+    :meth:`~repro.core.debugger.AnnotationBasedDebugger.repair` and try
+    again, for up to ``max_rounds`` rounds.  The loop stops early when the
+    candidate executes or when a round makes no progress (the repairer
+    returned the candidate unchanged).
+    """
+
+    name = REPAIR
+
+    def __init__(
+        self,
+        debugger: AnnotationBasedDebugger,
+        backend: ExecutionBackend,
+        max_rounds: int = 1,
+    ):
+        if max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        self.debugger = debugger
+        self.backend = backend
+        self.max_rounds = max_rounds
+
+    def run(self, context: StageContext) -> None:
+        outcome = context.cached_outcome()
+        if outcome is None:
+            outcome = check_execution(self.backend, context.dvq, context)
+        initially_ok = outcome.ok
+        rounds = 0
+        while not outcome.ok and rounds < self.max_rounds:
+            repaired = self.debugger.repair(context.dvq, context.database, outcome)
+            rounds += 1
+            if not repaired or repaired == context.dvq:
+                context.advance(
+                    self.name,
+                    context.dvq,
+                    detail=f"round {rounds}: no progress on {outcome.category}",
+                )
+                break
+            context.advance(self.name, repaired, detail=f"round {rounds}: {outcome.diagnosis()}")
+            outcome = check_execution(self.backend, repaired, context)
+        context.repair_rounds += rounds
+        context.set_outcome(outcome)
+        context.meta[self.name] = {
+            "initially_ok": initially_ok,
+            "rounds": rounds,
+            "final_ok": outcome.ok,
+        }
+
+
+def stage_name(stage: Stage) -> str:
+    """The stage's public name (tolerates plain callables in custom plans)."""
+    name: Optional[str] = getattr(stage, "name", None)
+    return name or type(stage).__name__

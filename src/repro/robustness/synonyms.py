@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 #: Word-level synonyms for schema identifier parts.  All keys are lower-case.
 WORD_SYNONYMS: Dict[str, List[str]] = {

@@ -26,6 +26,7 @@ from repro.llm.interface import ChatMessage, ChatModel, CompletionParams
 #: :meth:`repro.llm.simulated.SimulatedChatModel._dispatch` so cache statistics
 #: group by the same behaviour names the simulated model logs.
 _BEHAVIOUR_MARKERS = (
+    ("repair", markers.TASK_REPAIR),
     ("debug", markers.TASK_DEBUG),
     ("retune", markers.TASK_RETUNE),
     ("generation", markers.TASK_GENERATION),

@@ -1,15 +1,48 @@
-"""Aggregation of per-stage wall-clock timings.
+"""Per-stage wall-clock measurement and aggregation.
 
-``GRED.trace`` stamps each pipeline stage (``generate`` / ``retune`` /
-``debug``) with its duration; :func:`aggregate_stage_timings` folds those
-per-trace dictionaries into one :class:`StageStat` per stage so benchmarks and
-experiment reports can show where a run spent its time.
+The stage plan's :class:`~repro.pipeline.middleware.TimingMiddleware` stamps
+each pipeline stage (``generate`` / ``retune`` / ``debug`` / ``repair`` /
+``verify``) with its duration using a :class:`Stopwatch`;
+:func:`aggregate_stage_timings` folds those per-trace dictionaries into one
+:class:`StageStat` per stage so benchmarks and experiment reports can show
+where a run spent its time.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping
+
+
+class Stopwatch:
+    """A context manager measuring the wall-clock seconds of its block.
+
+    The single timing primitive behind stage middleware and benchmarks —
+    replaces the hand-paired ``time.perf_counter()`` calls that used to be
+    threaded through ``GRED.trace``.  ``seconds`` reads as the running
+    elapsed time inside the block and freezes at exit.
+    """
+
+    def __init__(self) -> None:
+        self._start: float = 0.0
+        self._elapsed: float = 0.0
+        self._running = False
+
+    @property
+    def seconds(self) -> float:
+        if self._running:
+            return time.perf_counter() - self._start
+        return self._elapsed
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        self._running = True
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._elapsed = time.perf_counter() - self._start
+        self._running = False
 
 
 @dataclass

@@ -26,7 +26,7 @@ from repro.database.database import Database
 from repro.database.schema import ColumnType, TableSchema
 from repro.database.table import Table
 from repro.dvq.nodes import DVQuery
-from repro.executor.backend import normalize_result
+from repro.executor.backend import ExecutionOutcome, explain_execution, normalize_result
 from repro.executor.errors import ExecutionError
 from repro.executor.executor import ExecutionResult
 from repro.sql.compiler import DVQToSQLCompiler, quote_identifier
@@ -126,6 +126,10 @@ class SQLiteBackend:
         except ExecutionError:
             return False
         return True
+
+    def explain_failure(self, query: DVQuery, database: Database) -> ExecutionOutcome:
+        """Execute and classify: same categories as the interpreter backend."""
+        return explain_execution(self, query, database)
 
     def refresh(self, database: Database) -> None:
         """Drop the cached load of ``database`` (call after mutating its rows)."""

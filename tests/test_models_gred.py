@@ -8,12 +8,10 @@ import pytest
 
 from repro.core import GRED, GREDConfig, build_ablation_variants
 from repro.core.pipeline import GREDTrace
-from repro.dvq import parse_dvq
 from repro.dvq.normalize import try_parse
 from repro.evaluation import ModelEvaluator
 from repro.models import RGVisNetModel, Seq2VisModel, TransformerModel
 from repro.models.base import collect_training_columns, sketch_targets, signals_from_sketch
-from repro.robustness.variants import VariantKind
 
 
 @pytest.fixture(scope="module")

@@ -1,7 +1,5 @@
 """Tests for the nvBench-Rob construction (synonyms, rewriter, renamer, suite)."""
 
-import pytest
-
 from repro.dvq import parse_dvq
 from repro.executor import DVQExecutor
 from repro.robustness import (

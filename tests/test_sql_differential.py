@@ -209,6 +209,85 @@ def test_generated_corpus_covers_the_feature_matrix():
     assert {"=", "BETWEEN", "IN", "LIKE", "IS NULL"} <= operators
 
 
+#: Broken DVQs per failure category, instantiated over each case's main table.
+_BROKEN_TEMPLATES = [
+    (
+        "missing_table",
+        "Visualize BAR SELECT * FROM no_such_table_xyz",
+    ),
+    (
+        "missing_column",
+        "Visualize BAR SELECT NO_SUCH_COL_XYZ , COUNT(*) FROM {table} GROUP BY NO_SUCH_COL_XYZ",
+    ),
+]
+
+
+@pytest.mark.parametrize("schema_builder,data_seed,generator_seed,count", _CASES)
+def test_backends_agree_on_failure_categories(
+    schema_builder, data_seed, generator_seed, count
+):
+    """`explain_failure` parity: same category and missing identifiers per engine.
+
+    Covers hand-made failures per category plus a sweep mutating every
+    generated query's FROM table — the structured outcome feeding the repair
+    loop must not depend on which engine ran the candidate.
+    """
+    database = _build_database(schema_builder, data_seed)
+    interpreter = InterpreterBackend()
+    sqlite = SQLiteBackend()
+    main_table = database.schema.tables[0].name
+    for category, template in _BROKEN_TEMPLATES:
+        query = parse_dvq(template.format(table=main_table))
+        left = interpreter.explain_failure(query, database)
+        right = sqlite.explain_failure(query, database)
+        assert left.category == category, template
+        assert right.category == category, template
+        assert left.missing == right.missing
+        assert not left.ok and not right.ok
+    # sweep: break the FROM table of every generated query
+    for query in _generate_corpus(database, generator_seed, count)[:30]:
+        broken = query.replace(table="no_such_table_xyz")
+        left = interpreter.explain_failure(broken, database)
+        right = sqlite.explain_failure(broken, database)
+        assert left.category == right.category == "missing_table", serialize_dvq(broken)
+        assert left.missing == right.missing == ("no_such_table_xyz",)
+
+
+def test_unsupported_category_carries_no_missing_identifiers():
+    """`missing` names schema identifiers only — never functions or units."""
+    from repro.executor import classify_failure
+    from repro.executor.errors import ExecutionError
+
+    outcome = classify_failure(ExecutionError("Unsupported bin unit 'WEEKZ'"))
+    assert outcome.category == "unsupported"
+    assert outcome.missing == ()
+
+
+def test_backends_agree_on_cross_table_column_category():
+    """A column that exists elsewhere in the database but not in the read tables."""
+    database = _build_database(_hr_schema, 11)
+    query = parse_dvq(
+        "Visualize BAR SELECT DEPARTMENT_NAME , AVG(SALARY) "
+        "FROM departments GROUP BY DEPARTMENT_NAME"
+    )
+    left = InterpreterBackend().explain_failure(query, database)
+    right = SQLiteBackend().explain_failure(query, database)
+    assert left.category == right.category == "missing_column"
+    assert left.missing == right.missing == ("SALARY",)
+
+
+@pytest.mark.parametrize("schema_builder,data_seed,generator_seed,count", _CASES)
+def test_explain_failure_is_ok_for_the_whole_portable_corpus(
+    schema_builder, data_seed, generator_seed, count
+):
+    database = _build_database(schema_builder, data_seed)
+    interpreter = InterpreterBackend()
+    sqlite = SQLiteBackend()
+    for query in _generate_corpus(database, generator_seed, count)[:20]:
+        assert interpreter.explain_failure(query, database).ok
+        assert sqlite.explain_failure(query, database).ok
+
+
 def test_databases_contain_nulls():
     """The null injection actually produced NULLs for the suite to chew on."""
     database = _build_database(_hr_schema, 11)

@@ -1,0 +1,472 @@
+"""The stage-plan pipeline: plan/legacy equivalence, middleware, repair loop.
+
+The centrepiece is the seeded regression suite asserting that the default
+:class:`~repro.pipeline.plan.StagePlan` reproduces the pre-refactor
+``GRED.trace`` outputs *bit-identically* across a 50-example corpus slice for
+all four retuner/debugger ablation combinations — the legacy three-call loop
+is reimplemented inline here as the oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GRED, GREDConfig, NotFittedError, RepairStats
+from repro.core.debugger import AnnotationBasedDebugger
+from repro.core.pipeline import GREDTrace
+from repro.database import DataGenerator
+from repro.database.schema import ColumnType, build_schema
+from repro.evaluation import ModelEvaluator
+from repro.executor.backend import InterpreterBackend
+from repro.llm.simulated import SimulatedChatModel
+from repro.pipeline import (
+    ExecutionGuidedRepairStage,
+    RetryMiddleware,
+    StageContext,
+    StagePlan,
+    TimingMiddleware,
+    VerifyExecutionStage,
+)
+from repro.robustness.variants import VariantKind
+
+#: The four retuner/debugger ablation combinations of Table 4.
+ABLATIONS = [
+    pytest.param(True, True, id="full"),
+    pytest.param(False, False, id="wo-rtn-dbg"),
+    pytest.param(False, True, id="wo-rtn"),
+    pytest.param(True, False, id="wo-dbg"),
+]
+
+
+def legacy_trace(model: GRED, nlq: str, database):
+    """The pre-refactor ``GRED.trace`` body: three hard-coded ``if`` branches.
+
+    Kept verbatim (minus timings) as the oracle for the equivalence suite —
+    if the stage plan ever diverges from this, the refactor changed
+    behaviour.
+    """
+    dvq_gen = model.generator.generate(nlq, database)
+    dvq_rtn = dvq_gen
+    if model.config.use_retuner and model.retuner is not None and dvq_gen:
+        dvq_rtn = model.retuner.retune(dvq_gen)
+    dvq_dbg = dvq_rtn
+    if model.config.use_debugger and model.debugger is not None and dvq_rtn:
+        dvq_dbg = model.debugger.debug(dvq_rtn, database)
+    return dvq_gen, dvq_rtn, dvq_dbg
+
+
+@pytest.fixture(scope="module")
+def equivalence_corpus(small_dataset, robustness_suite):
+    """A 50-example slice mixing original and dual-variant questions."""
+    examples = list(small_dataset.test) + list(robustness_suite.dual_variant.examples)
+    assert len(examples) >= 50
+    return examples[:50]
+
+
+class TestPlanLegacyEquivalence:
+    @pytest.mark.parametrize("use_retuner,use_debugger", ABLATIONS)
+    def test_default_plan_reproduces_legacy_traces_bit_identically(
+        self, small_dataset, robustness_suite, equivalence_corpus, use_retuner, use_debugger
+    ):
+        model = GRED(
+            GREDConfig(top_k=5, use_retuner=use_retuner, use_debugger=use_debugger)
+        ).fit(small_dataset.train, small_dataset.catalog)
+        catalog = robustness_suite.catalog
+        for example in equivalence_corpus:
+            database = (
+                catalog.get(example.db_id)
+                if example.db_id in catalog
+                else small_dataset.catalog.get(example.db_id)
+            )
+            trace = model.trace(example.nlq, database)
+            dvq_gen, dvq_rtn, dvq_dbg = legacy_trace(model, example.nlq, database)
+            assert trace.dvq_gen == dvq_gen, example.nlq
+            assert trace.dvq_rtn == dvq_rtn, example.nlq
+            assert trace.dvq_dbg == dvq_dbg, example.nlq
+            assert trace.final == dvq_dbg, example.nlq
+
+    def test_plan_membership_follows_ablation_switches(self, small_dataset):
+        full = GRED(GREDConfig(top_k=3)).fit(small_dataset.train, small_dataset.catalog)
+        assert full.plan.names() == ("generate", "retune", "debug")
+        bare = GRED(GREDConfig(top_k=3, use_retuner=False, use_debugger=False)).fit(
+            small_dataset.train, small_dataset.catalog
+        )
+        assert bare.plan.names() == ("generate",)
+        repair = GRED(
+            GREDConfig(top_k=3, max_repair_rounds=2, verify_execution=True)
+        ).fit(small_dataset.train, small_dataset.catalog)
+        assert repair.plan.names() == ("generate", "retune", "debug", "repair", "verify")
+
+
+@pytest.fixture(scope="module")
+def toy_database():
+    schema = build_schema(
+        "plan_toy",
+        [
+            (
+                "products",
+                [
+                    ("PRODUCT_ID", ColumnType.NUMBER, "id"),
+                    ("PRODUCT_NAME", ColumnType.TEXT, "product"),
+                    ("PRICE", ColumnType.NUMBER, "price"),
+                ],
+            ),
+            (
+                "orders",
+                [
+                    ("ORDER_ID", ColumnType.NUMBER, "id"),
+                    ("PRODUCT_ID", ColumnType.NUMBER, "id"),
+                    ("ORDER_DATE", ColumnType.DATE, "date"),
+                    ("QUANTITY", ColumnType.NUMBER, "count"),
+                ],
+            ),
+        ],
+        foreign_keys=[("orders", "PRODUCT_ID", "products", "PRODUCT_ID")],
+    )
+    return DataGenerator(seed=5, rows_per_table=25).populate(schema)
+
+
+@pytest.fixture()
+def repair_stage(toy_database):
+    llm = SimulatedChatModel()
+    from repro.core.annotator import DatabaseAnnotator
+
+    debugger = AnnotationBasedDebugger(annotator=DatabaseAnnotator(llm), llm=llm)
+    return ExecutionGuidedRepairStage(debugger, InterpreterBackend(), max_rounds=3)
+
+
+class TestExecutionGuidedRepairStage:
+    def test_rescues_cross_table_column(self, toy_database, repair_stage):
+        context = StageContext(
+            nlq="q",
+            database=toy_database,
+            dvq=(
+                "Visualize BAR SELECT PRODUCT_NAME , AVG(ORDER_DATE) "
+                "FROM products GROUP BY PRODUCT_NAME"
+            ),
+        )
+        repair_stage.run(context)
+        assert context.executes is True
+        assert context.repair_rounds >= 1
+        assert any(record.stage == "repair" and record.changed for record in context.records)
+        assert "ORDER_DATE" not in context.dvq
+
+    def test_executing_candidate_is_left_alone(self, toy_database, repair_stage):
+        dvq = "Visualize BAR SELECT PRODUCT_NAME , COUNT(*) FROM products GROUP BY PRODUCT_NAME"
+        context = StageContext(nlq="q", database=toy_database, dvq=dvq)
+        repair_stage.run(context)
+        assert context.executes is True
+        assert context.repair_rounds == 0
+        assert context.dvq == dvq
+        assert context.records == []
+
+    def test_unparseable_candidate_stops_without_progress(self, toy_database, repair_stage):
+        context = StageContext(nlq="q", database=toy_database, dvq="SELECT nonsense")
+        repair_stage.run(context)
+        assert context.executes is False
+        assert context.outcome.category == "parse_error"
+        # one LLM round was spent, then the loop detected no progress
+        assert context.repair_rounds == 1
+        assert context.meta["repair"]["final_ok"] is False
+
+    def test_round_budget_is_respected(self, toy_database):
+        llm = SimulatedChatModel()
+        from repro.core.annotator import DatabaseAnnotator
+
+        debugger = AnnotationBasedDebugger(annotator=DatabaseAnnotator(llm), llm=llm)
+        stage = ExecutionGuidedRepairStage(debugger, InterpreterBackend(), max_rounds=1)
+        context = StageContext(
+            nlq="q", database=toy_database, dvq="Visualize BAR SELECT A , B FROM nowhere"
+        )
+        stage.run(context)
+        assert context.repair_rounds <= 1
+
+    def test_rejects_zero_rounds(self, toy_database, repair_stage):
+        with pytest.raises(ValueError):
+            ExecutionGuidedRepairStage(
+                repair_stage.debugger, repair_stage.backend, max_rounds=0
+            )
+
+    def test_verify_reuses_repair_verdict(self, toy_database, repair_stage):
+        calls = []
+        backend = repair_stage.backend
+        original = backend.explain_failure
+
+        def counting(query, database):
+            calls.append(query)
+            return original(query, database)
+
+        backend.explain_failure = counting
+        try:
+            dvq = (
+                "Visualize BAR SELECT PRODUCT_NAME , COUNT(*) FROM products "
+                "GROUP BY PRODUCT_NAME"
+            )
+            context = StageContext(nlq="q", database=toy_database, dvq=dvq)
+            plan = StagePlan(stages=(repair_stage, VerifyExecutionStage(backend)))
+            plan.run(context)
+            assert context.executes is True
+            assert len(calls) == 1  # verify reused the repair stage's verdict
+        finally:
+            backend.explain_failure = original
+
+
+class TestPlanEdits:
+    def _plan(self, small_dataset) -> StagePlan:
+        model = GRED(GREDConfig(top_k=3)).fit(small_dataset.train, small_dataset.catalog)
+        return model.plan
+
+    def test_without_and_contains(self, small_dataset):
+        plan = self._plan(small_dataset)
+        assert "retune" in plan
+        trimmed = plan.without("retune")
+        assert trimmed.names() == ("generate", "debug")
+        assert "retune" not in trimmed
+        # removing a missing stage is a no-op, and the original is untouched
+        assert trimmed.without("retune").names() == trimmed.names()
+        assert plan.names() == ("generate", "retune", "debug")
+
+    def test_with_stage_anchors(self, small_dataset):
+        plan = self._plan(small_dataset)
+        verify = VerifyExecutionStage(InterpreterBackend())
+        assert plan.with_stage(verify).names()[-1] == "verify"
+        assert plan.with_stage(verify, before="retune").names() == (
+            "generate",
+            "verify",
+            "retune",
+            "debug",
+        )
+        assert plan.with_stage(verify, after="retune").names() == (
+            "generate",
+            "retune",
+            "verify",
+            "debug",
+        )
+        with pytest.raises(ValueError):
+            plan.with_stage(verify, before="retune", after="debug")
+
+    def test_replaced_and_stage_lookup(self, small_dataset):
+        plan = self._plan(small_dataset)
+        verify = VerifyExecutionStage(InterpreterBackend())
+        swapped = plan.replaced("debug", verify)
+        assert swapped.names() == ("generate", "retune", "verify")
+        assert plan.stage("retune") is plan.stages[1]
+        with pytest.raises(KeyError):
+            plan.stage("no_such_stage")
+        with pytest.raises(KeyError):
+            plan.replaced("no_such_stage", verify)
+
+    def test_edited_plan_runs(self, small_dataset):
+        model = GRED(GREDConfig(top_k=3)).fit(small_dataset.train, small_dataset.catalog)
+        model.plan = model.plan.without("retune")
+        example = small_dataset.test[0]
+        trace = model.trace(example.nlq, small_dataset.catalog.get(example.db_id))
+        assert [record.stage for record in trace.records] == ["generate", "debug"]
+        assert trace.dvq_rtn == trace.dvq_gen  # compat property falls through
+
+    def test_build_plan_requires_backend_for_repair(self, small_dataset):
+        model = GRED(GREDConfig(top_k=3, max_repair_rounds=1)).fit(
+            small_dataset.train, small_dataset.catalog
+        )
+        model.execution_backend = None
+        with pytest.raises(ValueError):
+            model.build_plan()
+
+
+class TestMiddleware:
+    def test_timing_middleware_accumulates_per_stage(self, toy_database, repair_stage):
+        dvq = "Visualize BAR SELECT PRODUCT_NAME , COUNT(*) FROM products GROUP BY PRODUCT_NAME"
+        verify = VerifyExecutionStage(repair_stage.backend)
+        plan = StagePlan(stages=(verify, verify), middleware=(TimingMiddleware(),))
+        context = StageContext(nlq="q", database=toy_database, dvq=dvq)
+        plan.run(context)
+        assert set(context.timings) == {"verify"}
+        assert context.timings["verify"] >= 0.0
+
+    def test_cache_stats_middleware_attributes_hits_to_stages(self, small_dataset):
+        model = GRED(GREDConfig(top_k=3, use_llm_cache=True)).fit(
+            small_dataset.train, small_dataset.catalog
+        )
+        example = small_dataset.test[0]
+        database = small_dataset.catalog.get(example.db_id)
+        first = StageContext(nlq=example.nlq, database=database)
+        model.plan.run(first)
+        assert set(first.meta["llm_cache"]) == {"generate", "retune", "debug"}
+        assert first.meta["llm_cache"]["generate"]["misses"] >= 1
+        second = StageContext(nlq=example.nlq, database=database)
+        model.plan.run(second)
+        assert second.meta["llm_cache"]["generate"]["hits"] >= 1
+        assert second.meta["llm_cache"]["generate"]["misses"] == 0
+
+    def test_retry_middleware_reruns_flaky_stage(self):
+        class Flaky:
+            name = "flaky"
+
+            def __init__(self):
+                self.calls = 0
+
+            def run(self, context):
+                self.calls += 1
+                if self.calls == 1:
+                    raise ConnectionError("transient")
+                context.advance(self.name, "Visualize BAR SELECT A , B FROM t")
+
+        flaky = Flaky()
+        plan = StagePlan(stages=(flaky,), middleware=(RetryMiddleware(attempts=2),))
+        context = plan.run(StageContext(nlq="q", database=None))
+        assert flaky.calls == 2
+        assert context.meta["retry:flaky"] == 1
+        assert context.dvq
+
+    def test_retry_middleware_rolls_back_partial_mutations(self):
+        class HalfwayBroken:
+            """Mutates the context like a mid-loop repair round, then dies once."""
+
+            name = "halfway"
+
+            def __init__(self):
+                self.calls = 0
+
+            def run(self, context):
+                self.calls += 1
+                context.advance(self.name, f"Visualize BAR attempt {self.calls}")
+                context.repair_rounds += 1
+                if self.calls == 1:
+                    raise ConnectionError("transient mid-stage")
+
+        stage = HalfwayBroken()
+        plan = StagePlan(stages=(stage,), middleware=(RetryMiddleware(attempts=2),))
+        context = plan.run(StageContext(nlq="q", database=None))
+        # the aborted attempt's record and counter increment were rolled back
+        assert [record.dvq for record in context.records] == ["Visualize BAR attempt 2"]
+        assert context.repair_rounds == 1
+
+    def test_retry_middleware_reraises_after_budget(self):
+        class Broken:
+            name = "broken"
+
+            def run(self, context):
+                raise ConnectionError("down")
+
+        plan = StagePlan(stages=(Broken(),), middleware=(RetryMiddleware(attempts=2),))
+        with pytest.raises(ConnectionError):
+            plan.run(StageContext(nlq="q", database=None))
+        with pytest.raises(ValueError):
+            RetryMiddleware(attempts=0)
+
+
+class TestNotFittedError:
+    def test_trace_names_trace(self, small_dataset):
+        example = small_dataset.test[0]
+        database = small_dataset.catalog.get(example.db_id)
+        with pytest.raises(NotFittedError, match=r"GRED\.trace called before fit"):
+            GRED().trace(example.nlq, database)
+
+    def test_predict_names_predict(self, small_dataset):
+        example = small_dataset.test[0]
+        database = small_dataset.catalog.get(example.db_id)
+        with pytest.raises(NotFittedError, match=r"GRED\.predict called before fit"):
+            GRED().predict(example.nlq, database)
+
+    def test_is_a_runtime_error(self, small_dataset):
+        example = small_dataset.test[0]
+        database = small_dataset.catalog.get(example.db_id)
+        with pytest.raises(RuntimeError):
+            GRED().predict(example.nlq, database)
+
+    def test_retriever_names_actual_caller(self):
+        from repro.core import GREDRetriever
+
+        with pytest.raises(NotFittedError, match=r"retrieve_by_dvq called before prepare"):
+            GREDRetriever().retrieve_by_dvq("Visualize BAR", top_k=1)
+
+
+class TestRepairStats:
+    def test_observe_and_since(self):
+        stats = RepairStats()
+        stats.observe({"initially_ok": True, "rounds": 0, "final_ok": True})
+        assert stats.attempted == 0
+        stats.observe({"initially_ok": False, "rounds": 2, "final_ok": True})
+        stats.observe({"initially_ok": False, "rounds": 1, "final_ok": False})
+        assert (stats.attempted, stats.repaired, stats.rounds_total) == (2, 1, 3)
+        assert stats.repair_rate == 0.5
+        earlier = stats.snapshot()
+        stats.observe({"initially_ok": False, "rounds": 1, "final_ok": True})
+        delta = stats.since(earlier)
+        assert (delta.attempted, delta.repaired, delta.rounds_total) == (1, 1, 1)
+
+
+class TestRepairVariantBuilders:
+    def test_build_repair_variants_produces_distinct_pair(self):
+        from repro.core import build_repair_variants
+
+        variants = build_repair_variants(top_k=3)
+        assert len(variants) == 2
+        names = list(variants)
+        assert names[1].endswith("+ repair")
+        configs = [model.config for model in variants.values()]
+        assert configs[0].max_repair_rounds == 0 and configs[1].max_repair_rounds == 2
+
+    def test_build_repair_variants_rejects_zero_rounds(self):
+        from repro.core import build_repair_variants
+
+        with pytest.raises(ValueError):
+            build_repair_variants(max_repair_rounds=0)
+
+
+class TestRepairLoopUplift:
+    def test_execution_rate_strictly_improves_with_repair(
+        self, small_dataset, robustness_suite
+    ):
+        """The acceptance bar: repair on > repair off, on the seeded corpus."""
+        runs = {}
+        for rounds in (0, 2):
+            model = GRED(
+                GREDConfig(
+                    top_k=5,
+                    use_debugger=False,
+                    verify_execution=True,
+                    max_repair_rounds=rounds,
+                )
+            ).fit(small_dataset.train, small_dataset.catalog)
+            evaluator = ModelEvaluator(limit=40, execution_backend="interpreter")
+            runs[rounds] = evaluator.evaluate(
+                model, robustness_suite.variant(VariantKind.BOTH)
+            )
+        assert runs[2].execution_rate > runs[0].execution_rate
+        summary = runs[2].repair_summary
+        assert summary is not None and summary.repaired >= 1
+        assert runs[0].repair_summary is None  # loop disabled -> no summary
+
+    def test_trace_records_repair_history(self, small_dataset, robustness_suite):
+        model = GRED(
+            GREDConfig(top_k=5, use_debugger=False, max_repair_rounds=2)
+        ).fit(small_dataset.train, small_dataset.catalog)
+        catalog = robustness_suite.catalog
+        repaired_traces = []
+        for example in robustness_suite.dual_variant.examples[:25]:
+            trace = model.trace(example.nlq, catalog.get(example.db_id))
+            assert trace.executes is not None  # repair loop always verdicts
+            if trace.repair_rounds:
+                repaired_traces.append(trace)
+        assert repaired_traces, "expected at least one repaired trace in 25 examples"
+        trace = repaired_traces[0]
+        assert trace.dvq_repaired is not None
+        assert trace.final == trace.dvq_repaired
+        assert model.repair_stats.attempted >= len(repaired_traces)
+
+
+class TestGREDTraceCompat:
+    def test_equality_ignores_timings_and_executes(self):
+        from repro.pipeline import StageRecord
+
+        records = [StageRecord(stage="generate", dvq="Visualize BAR", changed=True)]
+        left = GREDTrace(nlq="q", records=list(records), timings={"generate": 1.0})
+        right = GREDTrace(nlq="q", records=list(records), timings={"generate": 2.0})
+        assert left == right
+
+    def test_empty_trace_properties(self):
+        trace = GREDTrace(nlq="q")
+        assert trace.final == ""
+        assert trace.dvq_gen == "" and trace.dvq_rtn == "" and trace.dvq_dbg == ""
+        assert trace.dvq_repaired is None
