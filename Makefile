@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-diff bench bench-paper-scale quickstart lint
+.PHONY: test test-fast test-diff bench bench-index bench-index-check bench-paper-scale quickstart lint
 
 test:            ## tier-1 suite (tests/ + benchmarks/, fail fast)
 	$(PYTHON) -m pytest -x -q
@@ -17,6 +17,12 @@ test-diff:       ## cross-backend differential suite (interpreter vs SQLite)
 
 bench:           ## experiment harness only (tables, figures, runtime throughput)
 	$(PYTHON) -m pytest benchmarks -q -s
+
+bench-index:     ## vector-index benchmark: recall + >=3x throughput bar (-m index)
+	$(PYTHON) -m pytest benchmarks -q -s -m index
+
+bench-index-check: ## index benchmark correctness assertions only (no timing bar; used by CI)
+	$(PYTHON) -m pytest benchmarks -q -m index -k "not throughput_vs_exact"
 
 bench-paper-scale: ## benchmarks at the paper's full corpus scale (slow)
 	$(PYTHON) -m pytest benchmarks -q -s --paper-scale

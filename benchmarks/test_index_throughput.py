@@ -1,0 +1,168 @@
+"""Index throughput — partitioned (IVF-style) vs exact search at scale.
+
+This benchmark is the perf gate for the :mod:`repro.index` subsystem, on a
+~50k-entry clustered library (synthetic unit vectors; text embeddings cluster
+the same way by domain):
+
+1. **Recall** — probing ``nprobe`` of the k-means partitions must find at
+   least 95% of the exact top-5 neighbours;
+2. **Throughput** — batched partitioned search must answer queries at >= 3x
+   the exact backend's rate (measured ~6x with ``nprobe/num_partitions`` =
+   16/128, on top of the partition fan-out across ``BatchRunner`` workers);
+3. **Persistence** — reloading a snapshotted library must not re-embed
+   anything (asserted via embedder call counts), and the recall/latency
+   trade-off is reported on the real corpus via the workbench ablation.
+
+CI runs the correctness half only (``make bench-index-check``, which skips
+the timing test); the timing bar stays local / ``make bench-index`` where the
+hardware is not shared.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.retriever import GREDRetriever
+from repro.index import ExactIndex, IndexConfig, PartitionedIndex
+from repro.nvbench.generator import build_corpus
+
+pytestmark = pytest.mark.index
+
+LIBRARY_SIZE = 50_000
+DIMENSIONS = 64
+CLUSTERS = 256
+QUERY_COUNT = 256
+TOP_K = 5
+NUM_PARTITIONS = 128
+NPROBE = 16
+SEARCH_WORKERS = 4
+
+MIN_SPEEDUP = 3.0
+MIN_RECALL = 0.95
+
+
+def _unit(rows: np.ndarray) -> np.ndarray:
+    return rows / np.linalg.norm(rows, axis=1, keepdims=True)
+
+
+@pytest.fixture(scope="module")
+def library():
+    """A clustered ~50k vector library, its queries, and both backends."""
+    rng = np.random.default_rng(97)
+    centers = _unit(rng.normal(size=(CLUSTERS, DIMENSIONS)))
+    assignment = rng.integers(0, CLUSTERS, size=LIBRARY_SIZE)
+    rows = _unit(centers[assignment] + 0.15 * rng.normal(size=(LIBRARY_SIZE, DIMENSIONS)))
+    queries = _unit(
+        centers[rng.integers(0, CLUSTERS, size=QUERY_COUNT)]
+        + 0.15 * rng.normal(size=(QUERY_COUNT, DIMENSIONS))
+    )
+    keys = [f"e{i:06d}" for i in range(LIBRARY_SIZE)]
+    payloads = list(range(LIBRARY_SIZE))
+
+    exact = ExactIndex()
+    exact.add(keys, rows, payloads)
+    partitioned = PartitionedIndex(
+        num_partitions=NUM_PARTITIONS, nprobe=NPROBE, search_workers=SEARCH_WORKERS
+    )
+    partitioned.add(keys, rows, payloads)
+    partitioned.search_matrix(queries[:1], TOP_K)  # pay k-means training up front
+    return exact, partitioned, queries
+
+
+def _recall(truth, approx) -> float:
+    overlaps = [
+        len({hit.key for hit in t} & {hit.key for hit in a}) / max(1, len(t))
+        for t, a in zip(truth, approx)
+    ]
+    return sum(overlaps) / len(overlaps)
+
+
+def test_partitioned_recall_at_5(library):
+    exact, partitioned, queries = library
+    recall = _recall(
+        exact.search_matrix(queries, TOP_K), partitioned.search_matrix(queries, TOP_K)
+    )
+    print(
+        f"\nrecall@{TOP_K} of partitioned ({NPROBE}/{NUM_PARTITIONS} partitions probed) "
+        f"vs exact over {QUERY_COUNT} queries: {recall:.3f}"
+    )
+    assert recall >= MIN_RECALL, f"recall@{TOP_K} {recall:.3f} below {MIN_RECALL}"
+
+
+def test_partitioned_results_identical_across_worker_counts(library):
+    _, partitioned, queries = library
+    serial = PartitionedIndex(num_partitions=NUM_PARTITIONS, nprobe=NPROBE, search_workers=1)
+    matrix, keys, payloads = partitioned.snapshot()
+    serial.add(keys, matrix, payloads)
+    expected = serial.search_matrix(queries[:32], TOP_K)
+    actual = partitioned.search_matrix(queries[:32], TOP_K)
+    assert [[(h.key, h.score) for h in hits] for hits in actual] == [
+        [(h.key, h.score) for h in hits] for hits in expected
+    ]
+
+
+def test_partitioned_throughput_vs_exact(library):
+    exact, partitioned, queries = library
+    exact.search_matrix(queries[:8], TOP_K)  # warm both paths
+    partitioned.search_matrix(queries[:8], TOP_K)
+
+    started = time.perf_counter()
+    truth = exact.search_matrix(queries, TOP_K)
+    exact_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    approx = partitioned.search_matrix(queries, TOP_K)
+    partitioned_seconds = time.perf_counter() - started
+
+    speedup = exact_seconds / partitioned_seconds
+    recall = _recall(truth, approx)
+    print(
+        f"\nindex throughput over a {LIBRARY_SIZE:,}-entry library, {QUERY_COUNT} queries:\n"
+        f"  exact:       {exact_seconds:.3f}s ({QUERY_COUNT / exact_seconds:,.0f} q/s)\n"
+        f"  partitioned: {partitioned_seconds:.3f}s ({QUERY_COUNT / partitioned_seconds:,.0f} q/s, "
+        f"{SEARCH_WORKERS} workers)\n"
+        f"  speedup: {speedup:.1f}x at recall@{TOP_K} {recall:.3f}"
+    )
+    # the acceptance bar: >= 3x throughput without giving up recall
+    assert recall >= MIN_RECALL
+    assert speedup >= MIN_SPEEDUP, f"partitioned only {speedup:.2f}x faster than exact"
+
+
+def test_snapshot_load_skips_reembedding(tmp_path):
+    """A prepared retriever restored from its snapshot embeds zero texts."""
+    dataset = build_corpus(scale=0.05, seed=17)
+    config = IndexConfig(snapshot_path=str(tmp_path / "library"))
+
+    first = GREDRetriever(index_config=config)
+    first.prepare(dataset.train)
+    cold_embeds = first.embedder.texts_embedded
+    assert cold_embeds >= 2 * len(dataset.train)  # both libraries embedded
+
+    restored = GREDRetriever(index_config=config)
+    restored.prepare(dataset.train)
+    assert restored.embedder.texts_embedded == 0  # the library came from disk
+
+    queries = [example.nlq for example in dataset.test[:10]]
+    expected = first.retrieve_by_nlq_many(queries, top_k=TOP_K)
+    actual = restored.retrieve_by_nlq_many(queries, top_k=TOP_K)
+    assert [[(h.key, h.score) for h in hits] for hits in actual] == [
+        [(h.key, h.score) for h in hits] for hits in expected
+    ]
+    # exactly one embedding call per query, nothing else
+    assert restored.embedder.texts_embedded == len(queries)
+
+
+def test_workbench_index_ablation_on_real_corpus(workbench):
+    """Exact vs partitioned on the actual nvBench corpus: recall holds."""
+    report = workbench.index_ablation(nprobe=4, query_limit=100)
+    print(
+        f"\nworkbench index ablation ({report['library_size']} entries, "
+        f"{report['query_count']} queries, nprobe={report['nprobe']}):\n"
+        f"  recall@{report['top_k']}: {report['recall']:.3f}\n"
+        f"  exact {report['exact_seconds'] * 1e3:.1f} ms vs partitioned "
+        f"{report['partitioned_seconds'] * 1e3:.1f} ms"
+    )
+    assert report["recall"] >= 0.9

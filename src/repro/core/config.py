@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.index import IndexConfig
 from repro.llm.interface import CompletionParams
 
 
@@ -46,6 +47,13 @@ class GREDConfig:
             ``"sqlite"`` (the DVQ->SQL compiler over SQLite, see
             :mod:`repro.sql`).  Only meaningful with ``verify_execution``
             or ``max_repair_rounds > 0``.
+        index: retrieval-index configuration for the NLQ/DVQ libraries
+            (:class:`~repro.index.IndexConfig`): the search backend
+            (``"exact"`` brute force — the default — or ``"partitioned"``
+            IVF-style probing), its partitioning knobs, and an optional
+            ``snapshot_path`` under which the prepared libraries are
+            persisted and restored instead of re-embedding the corpus on
+            every process start.
         max_repair_rounds: enable the execution-guided repair loop
             (:class:`repro.pipeline.stages.ExecutionGuidedRepairStage`):
             after the regular stages, the candidate DVQ is executed on
@@ -65,6 +73,7 @@ class GREDConfig:
     llm_cache_max_entries: Optional[int] = None
     verify_execution: bool = False
     execution_backend: str = "interpreter"
+    index: IndexConfig = field(default_factory=IndexConfig)
     max_repair_rounds: int = 0
 
     @property

@@ -168,7 +168,9 @@ class GRED(TextToVisModel):
         if config.use_llm_cache:
             base_llm = LLMCache(base_llm, max_entries=config.llm_cache_max_entries)
         self.llm = base_llm
-        self.retriever = GREDRetriever(dimensions=config.embedder_dimensions)
+        self.retriever = GREDRetriever(
+            dimensions=config.embedder_dimensions, index_config=config.index
+        )
         self.annotator = DatabaseAnnotator(self.llm, params=config.preparation_params)
         self.generator: Optional[NLQRetrievalGenerator] = None
         self.retuner: Optional[DVQRetrievalRetuner] = None

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import hashlib
 import math
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, Sequence
 
@@ -49,6 +50,13 @@ class TextEmbedder:
         self.config = config
         self._idf: Dict[str, float] = {}
         self._fitted = False
+        #: Number of texts embedded so far (one per ``embed`` call, the batch
+        #: size per ``embed_batch`` call).  Index snapshots are asserted
+        #: against this counter: loading a persisted library must not embed.
+        self.texts_embedded = 0
+        # embeds run concurrently from BatchRunner search workers; the
+        # read-modify-write must not lose increments
+        self._counter_lock = threading.Lock()
 
     # -- feature extraction ------------------------------------------------
 
@@ -86,10 +94,43 @@ class TextEmbedder:
     def is_fitted(self) -> bool:
         return self._fitted
 
+    # -- persistence -------------------------------------------------------
+
+    def to_state(self) -> Dict[str, object]:
+        """JSON-serialisable snapshot of the configuration and fitted IDF."""
+        return {
+            "config": {
+                "dimensions": self.config.dimensions,
+                "char_n": self.config.char_n,
+                "use_words": self.config.use_words,
+                "seed": self.config.seed,
+            },
+            "fitted": self._fitted,
+            "idf": dict(self._idf),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "TextEmbedder":
+        """Rebuild an embedder that scores identically to the one saved."""
+        config = dict(state.get("config", {}))
+        embedder = cls(
+            EmbedderConfig(
+                dimensions=int(config.get("dimensions", 512)),
+                char_n=int(config.get("char_n", 3)),
+                use_words=bool(config.get("use_words", True)),
+                seed=int(config.get("seed", 13)),
+            )
+        )
+        embedder._idf = {str(term): float(value) for term, value in dict(state.get("idf", {})).items()}
+        embedder._fitted = bool(state.get("fitted", False))
+        return embedder
+
     # -- embedding ---------------------------------------------------------
 
     def embed(self, text: str) -> np.ndarray:
         """Embed one text into a unit-norm vector of ``config.dimensions``."""
+        with self._counter_lock:
+            self.texts_embedded += 1
         vector = np.zeros(self.config.dimensions, dtype=np.float64)
         for term, frequency in self.features(text).items():
             weight = frequency * self._idf.get(term, 1.0)

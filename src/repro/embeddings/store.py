@@ -1,37 +1,31 @@
-"""A NumPy-backed vector store with incremental indexing and cosine top-K.
+"""The vector library facade: lazy batch embedding over a pluggable index.
 
 This is GRED's "embedding vector library": during the preparatory phase every
 training NLQ and DVQ is embedded and inserted with its payload (the full
 training example); at inference time the generator and retuner issue top-K
 queries against it.
 
-The store indexes **incrementally**: entries added since the last search are
-embedded in one batch call and appended to the existing matrix, instead of
-re-embedding the whole library on every invalidation.  Queries can also be
-batched — :meth:`VectorStore.search_many` scores all queries against the
-library in a single matrix multiplication.
+:class:`VectorStore` owns the *embedding boundary* — entries added since the
+last search are embedded in one ``embed_batch`` call — and delegates storage
+and search to a :class:`~repro.index.VectorIndex` backend selected by an
+:class:`~repro.index.IndexConfig`: exact brute-force search (the default, and
+the historical behaviour) or IVF-style partitioned search for large
+libraries.  Prepared libraries can be persisted with :meth:`VectorStore.save`
+and restored with :meth:`VectorStore.load` without re-embedding anything.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
-from typing import Generic, Iterable, List, Optional, Sequence, Tuple, TypeVar
-
-import numpy as np
+from typing import Any, Dict, Generic, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.embeddings.embedder import TextEmbedder
+from repro.index import IndexConfig, SearchHit, VectorIndex, build_index
+from repro.index.snapshot import PayloadCodec, load_index, save_index
 
 PayloadT = TypeVar("PayloadT")
 
-
-@dataclass
-class SearchHit(Generic[PayloadT]):
-    """One retrieval result: the stored payload plus its similarity score."""
-
-    key: str
-    payload: PayloadT
-    score: float
+__all__ = ["SearchHit", "VectorStore"]
 
 
 class VectorStore(Generic[PayloadT]):
@@ -39,36 +33,49 @@ class VectorStore(Generic[PayloadT]):
 
     Embedding is lazy and incremental: :meth:`add` and :meth:`add_many` only
     record the entry; the next search embeds every not-yet-indexed text in one
-    ``embed_batch`` call and appends the new rows to the matrix.  Adding N
+    ``embed_batch`` call and hands the rows to the index backend.  Adding N
     entries therefore costs one batch embedding, not N rebuilds of the full
-    library.  Searches are thread-safe (reads share an internal lock around
-    index maintenance), which lets a :class:`~repro.runtime.runner.BatchRunner`
-    issue queries from many workers against one shared store.
+    library.  Searches are thread-safe — the index backends snapshot their
+    storage under a lock, so a search interleaved with concurrent ``add``
+    calls always pairs every score with that entry's own key and payload —
+    which lets a :class:`~repro.runtime.runner.BatchRunner` issue queries
+    from many workers against one shared store.
+
+    Args:
+        embedder: the text embedder shared with the caller (queries and
+            library entries must embed in the same space).
+        config: backend selection and tuning; ``None`` means exact search.
+        index: a pre-built index instance (overrides ``config``), used by
+            :meth:`load` and by tests that construct backends directly.
     """
 
-    def __init__(self, embedder: TextEmbedder):
+    def __init__(
+        self,
+        embedder: TextEmbedder,
+        config: Optional[IndexConfig] = None,
+        index: Optional[VectorIndex] = None,
+    ):
         self.embedder = embedder
-        self._keys: List[str] = []
+        self.index = index if index is not None else build_index(config or IndexConfig())
         self._texts: List[str] = []
-        self._payloads: List[PayloadT] = []
-        self._matrix: Optional[np.ndarray] = None
-        self._indexed = 0  # number of leading entries already in the matrix
+        self._pending: List[Tuple[str, str, PayloadT]] = []
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._keys)
+        with self._lock:
+            return len(self.index) + len(self._pending)
 
     @property
     def pending(self) -> int:
         """Entries added since the last (re)index, awaiting batch embedding."""
-        return len(self._texts) - self._indexed
+        with self._lock:
+            return len(self._pending)
 
     def add(self, key: str, text: str, payload: PayloadT) -> None:
         """Add one entry; it is embedded lazily on the next search."""
         with self._lock:
-            self._keys.append(key)
             self._texts.append(text)
-            self._payloads.append(payload)
+            self._pending.append((key, text, payload))
 
     def add_many(self, entries: Iterable[Tuple[str, str, PayloadT]]) -> None:
         """Add ``(key, text, payload)`` triples in bulk from any iterable.
@@ -79,58 +86,93 @@ class VectorStore(Generic[PayloadT]):
         """
         with self._lock:
             for key, text, payload in entries:
-                self._keys.append(key)
                 self._texts.append(text)
-                self._payloads.append(payload)
+                self._pending.append((key, text, payload))
 
-    def _ensure_matrix(self) -> Optional[np.ndarray]:
-        """Embed pending entries (one batch) and return the current matrix."""
+    def flush(self) -> None:
+        """Embed pending entries (one batch) and push them into the index."""
         with self._lock:
-            if self._indexed < len(self._texts):
-                new_rows = self.embedder.embed_batch(self._texts[self._indexed:])
-                if self._matrix is None or not len(self._matrix):
-                    self._matrix = new_rows
-                else:
-                    self._matrix = np.vstack([self._matrix, new_rows])
-                self._indexed = len(self._texts)
-            return self._matrix
-
-    def _hits_for_row(self, scores: np.ndarray, top_k: int) -> List[SearchHit[PayloadT]]:
-        top_k = min(top_k, len(scores))
-        best = np.argsort(-scores)[:top_k]
-        return [
-            SearchHit(key=self._keys[index], payload=self._payloads[index], score=float(scores[index]))
-            for index in best
-        ]
+            if not self._pending:
+                return
+            keys = [key for key, _, _ in self._pending]
+            texts = [text for _, text, _ in self._pending]
+            payloads = [payload for _, _, payload in self._pending]
+            self.index.add(keys, self.embedder.embed_batch(texts), payloads)
+            self._pending = []
 
     def search(self, query: str, top_k: int = 10) -> List[SearchHit[PayloadT]]:
         """Return the ``top_k`` most similar entries to ``query`` (descending score)."""
-        if not self._keys or top_k <= 0:
+        if not len(self) or top_k <= 0:
             return []
-        matrix = self._ensure_matrix()
-        query_vector = self.embedder.embed(query)
-        return self._hits_for_row(matrix @ query_vector, top_k)
+        self.flush()
+        return self.index.search_matrix(self.embedder.embed(query)[None, :], top_k)[0]
 
     def search_many(
         self, queries: Sequence[str], top_k: int = 10
     ) -> List[List[SearchHit[PayloadT]]]:
-        """Top-K results for every query, scored in one matrix multiplication.
+        """Top-K results for every query, scored as one batch.
 
         Equivalent to ``[store.search(q, top_k) for q in queries]`` but embeds
-        the queries in one batch and computes all similarities as a single
-        ``(library, queries)`` matmul.
+        the queries in one batch and scores them together (for the exact
+        backend a single ``(library, queries)`` matmul; for the partitioned
+        backend one fan-out over the probed partitions).
         """
         if not queries:
             return []
-        if not self._keys or top_k <= 0:
+        if not len(self) or top_k <= 0:
             return [[] for _ in queries]
-        matrix = self._ensure_matrix()
-        query_matrix = self.embedder.embed_batch(list(queries))
-        scores = matrix @ query_matrix.T  # (library, queries)
-        return [self._hits_for_row(scores[:, column], top_k) for column in range(len(queries))]
+        self.flush()
+        return self.index.search_matrix(self.embedder.embed_batch(list(queries)), top_k)
 
     def texts(self) -> List[str]:
-        return list(self._texts)
+        with self._lock:
+            return list(self._texts)
 
     def payloads(self) -> List[PayloadT]:
-        return list(self._payloads)
+        # the index snapshot must be taken under the store lock: a concurrent
+        # flush between the two reads would drop its in-flight entries from
+        # both halves of the result (same lock order as flush, so no deadlock)
+        with self._lock:
+            _, _, payloads = self.index.snapshot()
+            return list(payloads) + [payload for _, _, payload in self._pending]
+
+    # -- persistence -------------------------------------------------------
+
+    def save(
+        self,
+        path: str,
+        codec: Optional[PayloadCodec] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> str:
+        """Persist the library (flushing pending entries first) to ``path``.
+
+        Payloads cross the disk boundary through ``codec`` (JSON identity by
+        default); ``meta`` is caller metadata returned verbatim by
+        :func:`repro.index.snapshot.load_index`.
+        """
+        self.flush()
+        ensure_trained = getattr(self.index, "ensure_trained", None)
+        if callable(ensure_trained):
+            # snapshot the trained structures (k-means centroids) too, so a
+            # restored library answers its first query without retraining
+            ensure_trained()
+        return save_index(self.index, path, texts=self.texts(), codec=codec, meta=meta)
+
+    @classmethod
+    def load(
+        cls,
+        path: str,
+        embedder: TextEmbedder,
+        codec: Optional[PayloadCodec] = None,
+        search_workers: int = 1,
+    ) -> "VectorStore[PayloadT]":
+        """Restore a saved library without re-embedding any entry.
+
+        ``embedder`` must embed queries in the same space the snapshot was
+        built in (same configuration and fitted state) for scores to match
+        the original store.
+        """
+        index, texts, _ = load_index(path, codec=codec, search_workers=search_workers)
+        store: "VectorStore[PayloadT]" = cls(embedder, index=index)
+        store._texts = list(texts)
+        return store

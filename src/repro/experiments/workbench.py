@@ -12,9 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
+import time
+
 from repro.core.ablation import build_ablation_variants, build_repair_variants
 from repro.core.config import GREDConfig
 from repro.core.pipeline import GRED
+from repro.core.retriever import GREDRetriever
+from repro.index import PARTITIONED, IndexConfig
 from repro.evaluation.evaluator import EvaluationRun, ModelEvaluator
 from repro.evaluation.metrics import EvaluationResult, execution_rate_uplift
 from repro.models.base import TextToVisModel
@@ -54,6 +58,9 @@ class WorkbenchConfig:
             loop enabled for this many rounds (``0`` keeps the historical
             pipeline).  Uses ``execution_backend`` (falling back to the
             interpreter) for the in-loop execution checks.
+        index: retrieval-index configuration handed to the prepared GRED
+            (see :class:`~repro.index.IndexConfig`) — backend selection,
+            partitioning knobs and the optional library snapshot path.
     """
 
     scale: float = 0.15
@@ -64,6 +71,7 @@ class WorkbenchConfig:
     llm_cache: bool = True
     execution_backend: Optional[str] = None
     max_repair_rounds: int = 0
+    index: IndexConfig = field(default_factory=IndexConfig)
 
 
 @dataclass
@@ -132,6 +140,7 @@ class Workbench:
             use_llm_cache=self.config.llm_cache,
             max_repair_rounds=self.config.max_repair_rounds,
             execution_backend=self.config.execution_backend or "interpreter",
+            index=self.config.index,
         )
 
     def gred_ablations(self) -> Dict[str, GRED]:
@@ -162,6 +171,59 @@ class Workbench:
         for variant in variants.values():
             variant.fit(self.dataset.train, self.dataset.catalog)
         return variants
+
+    # -- retrieval-index study -----------------------------------------------------
+
+    def index_ablation(
+        self,
+        num_partitions: int = 0,
+        nprobe: int = 4,
+        top_k: int = 5,
+        query_limit: Optional[int] = 200,
+    ) -> Dict[str, object]:
+        """Exact vs partitioned retrieval on this corpus: recall and latency.
+
+        Prepares two :class:`~repro.core.retriever.GREDRetriever` instances
+        over the training split — one per backend — runs the test-split NLQs
+        through both, and reports the partitioned backend's recall@``top_k``
+        against the exact ground truth alongside both query latencies.  The
+        recall/latency trade-off is controlled by ``nprobe`` (and
+        ``num_partitions``; ``0`` = ``round(sqrt(n))``).
+        """
+        train = self.dataset.train
+        queries = [example.nlq for example in self.dataset.test][:query_limit]
+        exact = GREDRetriever(index_config=IndexConfig()).prepare(train)
+        partitioned = GREDRetriever(
+            index_config=IndexConfig(
+                backend=PARTITIONED,
+                num_partitions=num_partitions,
+                nprobe=nprobe,
+                search_workers=self.config.max_workers,
+            )
+        ).prepare(train)
+
+        def timed_search(retriever: GREDRetriever):
+            retriever.retrieve_by_nlq_many(queries[:1], top_k)  # embed / train once
+            started = time.perf_counter()
+            hits = retriever.retrieve_by_nlq_many(queries, top_k)
+            return hits, time.perf_counter() - started
+
+        exact_hits, exact_seconds = timed_search(exact)
+        partitioned_hits, partitioned_seconds = timed_search(partitioned)
+        overlaps = [
+            len({hit.key for hit in truth} & {hit.key for hit in candidate}) / max(1, len(truth))
+            for truth, candidate in zip(exact_hits, partitioned_hits)
+        ]
+        return {
+            "library_size": len(train),
+            "query_count": len(queries),
+            "top_k": top_k,
+            "nprobe": nprobe,
+            "recall": sum(overlaps) / max(1, len(overlaps)),
+            "exact_seconds": exact_seconds,
+            "partitioned_seconds": partitioned_seconds,
+            "speedup": exact_seconds / partitioned_seconds if partitioned_seconds else float("inf"),
+        }
 
     # -- repair-loop study ---------------------------------------------------------
 

@@ -1,0 +1,71 @@
+"""Pluggable vector indexes behind GRED's retrieval libraries.
+
+The subsystem splits retrieval into an embedding boundary (owned by
+:class:`~repro.embeddings.store.VectorStore`) and a storage/search layer — the
+:class:`VectorIndex` protocol — with two backends:
+
+* :class:`ExactIndex` — brute-force cosine top-K over the full library in one
+  matrix multiplication (the historical behaviour);
+* :class:`PartitionedIndex` — IVF-style coarse quantisation: seeded k-means
+  centroids partition the library and each query probes only the ``nprobe``
+  most similar partitions, fanned out across
+  :class:`~repro.runtime.runner.BatchRunner` workers.
+
+:class:`IndexConfig` selects and tunes the backend (:func:`build_index` is the
+factory), and :mod:`repro.index.snapshot` persists any index to disk as
+``np.savez`` arrays plus JSON payloads so prepared libraries survive process
+restarts.
+"""
+
+from repro.index.base import (
+    EXACT,
+    PARTITIONED,
+    IndexConfig,
+    SearchHit,
+    VectorIndex,
+    resolve_partition_count,
+    select_top_k,
+)
+from repro.index.exact import ExactIndex
+from repro.index.partitioned import PartitionedIndex
+from repro.index.snapshot import (
+    JsonPayloadCodec,
+    PayloadCodec,
+    SnapshotError,
+    load_index,
+    save_index,
+)
+
+
+def build_index(config: IndexConfig) -> VectorIndex:
+    """Instantiate the backend named by ``config``."""
+    if config.backend == EXACT:
+        return ExactIndex()
+    if config.backend == PARTITIONED:
+        return PartitionedIndex(
+            num_partitions=config.num_partitions,
+            nprobe=config.nprobe,
+            search_workers=config.search_workers,
+        )
+    raise ValueError(
+        f"Unknown index backend {config.backend!r} (expected {EXACT!r} or {PARTITIONED!r})"
+    )
+
+
+__all__ = [
+    "EXACT",
+    "PARTITIONED",
+    "ExactIndex",
+    "IndexConfig",
+    "JsonPayloadCodec",
+    "PartitionedIndex",
+    "PayloadCodec",
+    "SearchHit",
+    "SnapshotError",
+    "VectorIndex",
+    "build_index",
+    "load_index",
+    "resolve_partition_count",
+    "save_index",
+    "select_top_k",
+]

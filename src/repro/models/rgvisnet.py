@@ -22,6 +22,7 @@ from repro.dvq.normalize import try_parse
 from repro.dvq.serializer import serialize_dvq
 from repro.embeddings.embedder import EmbedderConfig, TextEmbedder
 from repro.embeddings.store import VectorStore
+from repro.index import IndexConfig
 from repro.linking.linker import SchemaLinker
 from repro.models.base import TextToVisModel, signals_from_sketch, sketch_targets
 from repro.neural.features import BagOfWordsFeaturizer
@@ -38,8 +39,10 @@ class RGVisNetModel(TextToVisModel):
 
     def __init__(self, max_train_examples: int = 4000,
                  training_config: Optional[TrainingConfig] = None,
-                 embedder: Optional[TextEmbedder] = None):
+                 embedder: Optional[TextEmbedder] = None,
+                 index_config: Optional[IndexConfig] = None):
         self.max_train_examples = max_train_examples
+        self.index_config = index_config
         self.training_config = training_config or TrainingConfig(hidden_size=64, epochs=12, seed=23)
         self.classifier = MultiHeadSketchClassifier(
             config=self.training_config,
@@ -63,7 +66,7 @@ class RGVisNetModel(TextToVisModel):
             targets.append(sketch)
         self.classifier.fit(questions, targets)
         self.embedder.fit(example.nlq for example in examples)
-        self.store = VectorStore(self.embedder)
+        self.store = VectorStore(self.embedder, config=self.index_config)
         for example in examples:
             self.store.add(example.example_id, example.nlq, example)
         self._fitted = True

@@ -164,12 +164,13 @@ class TestIncrementalVectorStore:
         store = VectorStore(embedder)
         store.add("a", "alpha", 1)
         store.search("alpha", top_k=1)
-        first_matrix = store._matrix
+        first_matrix, _, _ = store.index.snapshot()
         store.add("b", "beta", 2)
         store.search("beta", top_k=1)
         # the first row is reused, not re-embedded
-        assert np.array_equal(store._matrix[0], first_matrix[0])
-        assert store._matrix.shape[0] == 2
+        matrix, _, _ = store.index.snapshot()
+        assert np.array_equal(matrix[0], first_matrix[0])
+        assert matrix.shape[0] == 2
 
     def test_search_many_matches_individual_searches(self, embedder):
         store = VectorStore(embedder)
