@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-diff bench bench-index bench-index-check bench-paper-scale quickstart lint
+.PHONY: test test-fast test-diff bench bench-index bench-index-check bench-plan bench-plan-check bench-paper-scale quickstart lint
 
 test:            ## tier-1 suite (tests/ + benchmarks/, fail fast)
 	$(PYTHON) -m pytest -x -q
@@ -23,6 +23,12 @@ bench-index:     ## vector-index benchmark: recall + >=3x throughput bar (-m ind
 
 bench-index-check: ## index benchmark correctness assertions only (no timing bar; used by CI)
 	$(PYTHON) -m pytest benchmarks -q -m index -k "not throughput_vs_exact"
+
+bench-plan:      ## plan-engine benchmark: >=3x throughput bar + optimizer ablation (-m plan)
+	$(PYTHON) -m pytest benchmarks -q -s -m plan
+
+bench-plan-check: ## plan benchmark correctness assertions only (no timing bar; used by CI)
+	$(PYTHON) -m pytest benchmarks -q -m plan -k "not at_least_3x"
 
 bench-paper-scale: ## benchmarks at the paper's full corpus scale (slow)
 	$(PYTHON) -m pytest benchmarks -q -s --paper-scale

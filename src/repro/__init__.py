@@ -6,6 +6,8 @@ Top-level convenience imports; see the subpackages for the full API:
 * :mod:`repro.dvq` — the DVQ (Vega-Zero) language toolchain.
 * :mod:`repro.database` / :mod:`repro.executor` / :mod:`repro.vegalite` — the
   relational and visualization substrates.
+* :mod:`repro.plan` — the logical-plan IR, planner and optimizer every
+  execution engine lowers from.
 * :mod:`repro.nvbench` / :mod:`repro.robustness` — the synthetic nvBench corpus
   and the nvBench-Rob perturbation suite.
 * :mod:`repro.models` — the Seq2Vis / Transformer / RGVisNet baselines.

@@ -43,10 +43,17 @@ class GREDConfig:
             "no chart" check, off by default because it adds an execution per
             prediction.
         execution_backend: which engine runs the execution checks —
-            ``"interpreter"`` (the reference row-at-a-time executor) or
-            ``"sqlite"`` (the DVQ->SQL compiler over SQLite, see
-            :mod:`repro.sql`).  Only meaningful with ``verify_execution``
-            or ``max_repair_rounds > 0``.
+            ``"columnar"`` (the default: the logical-plan engine over column
+            batches, see :mod:`repro.plan`), ``"interpreter"`` (the legacy
+            row-at-a-time reference executor) or ``"sqlite"`` (the DVQ->SQL
+            compiler over SQLite, see :mod:`repro.sql`).  All three return
+            identical results; only speed differs.  Only meaningful with
+            ``verify_execution`` or ``max_repair_rounds > 0``.
+        optimize_plans: run the rule-based plan optimizer (predicate
+            pushdown, projection pruning, hash joins, constant folding)
+            before executing on the columnar backend.  On by default; turn
+            off only for optimizer ablations — results are identical either
+            way.  Ignored by the other backends.
         index: retrieval-index configuration for the NLQ/DVQ libraries
             (:class:`~repro.index.IndexConfig`): the search backend
             (``"exact"`` brute force — the default — or ``"partitioned"``
@@ -72,7 +79,8 @@ class GREDConfig:
     use_llm_cache: bool = False
     llm_cache_max_entries: Optional[int] = None
     verify_execution: bool = False
-    execution_backend: str = "interpreter"
+    execution_backend: str = "columnar"
+    optimize_plans: bool = True
     index: IndexConfig = field(default_factory=IndexConfig)
     max_repair_rounds: int = 0
 

@@ -68,25 +68,48 @@ class ForeignKey:
 
 @dataclass(frozen=True)
 class TableSchema:
-    """A table definition: a name plus an ordered list of columns."""
+    """A table definition: a name plus an ordered list of columns.
+
+    Case-insensitive column resolution is backed by a lowercase map built once
+    at construction, so :meth:`column` / :meth:`has_column` /
+    :meth:`lower_map` are O(1) rather than a scan over the column list.
+    """
 
     name: str
     columns: Tuple[Column, ...]
 
     def __post_init__(self) -> None:
-        names = [column.name.lower() for column in self.columns]
-        if len(names) != len(set(names)):
-            raise ValueError(f"Duplicate column names in table {self.name!r}: {names}")
+        by_lower: Dict[str, Column] = {}
+        for column in self.columns:
+            key = column.name.lower()
+            if key in by_lower:
+                names = [c.name.lower() for c in self.columns]
+                raise ValueError(f"Duplicate column names in table {self.name!r}: {names}")
+            by_lower[key] = column
+        # not a dataclass field: resolution cache only, excluded from eq/hash
+        object.__setattr__(self, "_by_lower", by_lower)
+        object.__setattr__(
+            self, "_lower_map", {key: column.name for key, column in by_lower.items()}
+        )
 
     def column(self, name: str) -> Column:
         """Look up a column by (case-insensitive) name."""
-        for column in self.columns:
-            if column.name.lower() == name.lower():
-                return column
-        raise KeyError(f"Table {self.name!r} has no column named {name!r}")
+        column = self._by_lower.get(name.lower())
+        if column is None:
+            raise KeyError(f"Table {self.name!r} has no column named {name!r}")
+        return column
 
     def has_column(self, name: str) -> bool:
-        return any(column.name.lower() == name.lower() for column in self.columns)
+        return name.lower() in self._by_lower
+
+    def lower_map(self) -> Dict[str, str]:
+        """The cached lowercase -> exact-casing column-name map.
+
+        Shared by :class:`~repro.database.table.Table` and the executors, so
+        case-insensitive lookups never rescan the column list.  Treat the
+        returned dict as read-only.
+        """
+        return self._lower_map
 
     def column_names(self) -> List[str]:
         return [column.name for column in self.columns]

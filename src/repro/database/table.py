@@ -18,7 +18,8 @@ class Table:
     def __init__(self, schema: TableSchema, rows: Optional[Iterable[Dict[str, object]]] = None):
         self.schema = schema
         self._rows: List[Dict[str, object]] = []
-        self._name_map = {column.name.lower(): column.name for column in schema.columns}
+        self._name_map = schema.lower_map()
+        self._column_store: Optional[Dict[str, List[object]]] = None
         if rows is not None:
             for row in rows:
                 self.insert(row)
@@ -56,6 +57,7 @@ class Table:
         for key, value in row.items():
             normalized[self.canonical_column(key)] = value
         self._rows.append(normalized)
+        self._column_store = None
 
     def extend(self, rows: Iterable[Dict[str, object]]) -> None:
         for row in rows:
@@ -65,6 +67,29 @@ class Table:
         """All values of one column, in row order."""
         canonical = self.canonical_column(name)
         return [row[canonical] for row in self._rows]
+
+    def column_store(self) -> Dict[str, List[object]]:
+        """Columnar view of the table: ``{exact column name: values in row order}``.
+
+        Built lazily on first use and cached; :meth:`insert` invalidates it.
+        The columnar execution engine (:mod:`repro.executor.columnar`) scans
+        these lists instead of iterating row dicts.  After mutating row values
+        in place (rather than through :meth:`insert`), call
+        :meth:`refresh_columns` — the same contract as
+        :meth:`repro.sql.SQLiteBackend.refresh`.
+        """
+        store = self._column_store
+        if store is None:
+            store = {
+                column.name: [row[column.name] for row in self._rows]
+                for column in self.schema.columns
+            }
+            self._column_store = store
+        return store
+
+    def refresh_columns(self) -> None:
+        """Drop the cached columnar view (call after in-place row mutation)."""
+        self._column_store = None
 
     def distinct_values(self, name: str) -> List[object]:
         """Distinct non-null values of a column, preserving first-seen order."""

@@ -308,6 +308,16 @@ class DVQuery:
             return self.select[2]
         return None
 
+    def needs_grouping(self) -> bool:
+        """True when execution groups rows: GROUP BY, BIN, or any aggregate.
+
+        The single source of this rule — the row interpreter, the planner and
+        the compiled SQL all derive their grouping decision from it.
+        """
+        if self.group_by or self.bin is not None:
+            return True
+        return any(item.is_aggregate for item in self.select)
+
     def referenced_columns(self) -> List[ColumnRef]:
         """All column references appearing anywhere in the query."""
         columns: List[ColumnRef] = []

@@ -103,13 +103,15 @@ class ModelEvaluator:
     :class:`~repro.runtime.runner.BatchReport` of the last run is kept on
     :attr:`last_report` for timing and failure inspection.
 
-    With ``execution_backend`` set (a backend name — ``"interpreter"`` /
-    ``"sqlite"`` — or an :class:`~repro.executor.backend.ExecutionBackend`
-    instance), every prediction is additionally executed against its target
-    database and :attr:`PredictionRecord.executes` /
-    :attr:`EvaluationRun.execution_rate` report whether it materialises a
-    chart.  The backend instance is kept across runs, so the SQLite engine
-    loads each database once per evaluator.
+    With ``execution_backend`` set (a backend name — ``"columnar"`` /
+    ``"interpreter"`` / ``"sqlite"`` — or an
+    :class:`~repro.executor.backend.ExecutionBackend` instance), every
+    prediction is additionally executed against its target database and
+    :attr:`PredictionRecord.executes` / :attr:`EvaluationRun.execution_rate`
+    report whether it materialises a chart.  ``optimize_plans`` toggles the
+    plan optimizer when the columnar backend is named (results are identical
+    either way).  The backend instance is kept across runs, so stateful
+    engines (e.g. SQLite) load each database once per evaluator.
     """
 
     def __init__(
@@ -118,12 +120,15 @@ class ModelEvaluator:
         max_workers: int = 1,
         runner: Optional[BatchRunner] = None,
         execution_backend: Optional[BackendSpec] = None,
+        optimize_plans: bool = True,
     ):
         self.limit = limit
         self.max_workers = max_workers
         self._runner = runner
         self.execution_backend: Optional[ExecutionBackend] = (
-            resolve_backend(execution_backend) if execution_backend is not None else None
+            resolve_backend(execution_backend, optimize=optimize_plans)
+            if execution_backend is not None
+            else None
         )
         self.last_report: Optional[BatchReport] = None
 

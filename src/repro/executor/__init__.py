@@ -1,17 +1,25 @@
-"""Execution engine for DVQs over the in-memory relational substrate.
+"""Execution engines for DVQs over the in-memory relational substrate.
 
 The executor materialises the data series behind a chart: it evaluates the
 FROM/JOIN/WHERE/GROUP BY/ORDER BY/BIN/LIMIT parts of a DVQ against a
 :class:`repro.database.Database` and returns the projected rows.  It is the
-substrate behind chart rendering (Table 5 / Figure 5 case study) and behind
-execution-based sanity checks in the benchmark suite.
+substrate behind chart rendering (Table 5 / Figure 5 case study), the
+execution-guided repair loop and the evaluation harness's execution checks.
 
 Execution is pluggable: :class:`ExecutionBackend` is the engine contract,
-implemented by the row-at-a-time :class:`InterpreterBackend` here and by
-:class:`repro.sql.SQLiteBackend`, which compiles DVQs to SQL and runs them on
-SQLite.  ``resolve_backend("interpreter" | "sqlite")`` is the factory used by
-the configuration knobs; :func:`normalize_result` is the cross-engine
-normalisation making both backends return identical results.
+implemented three times —
+
+* :class:`ColumnarBackend` (``"columnar"``), the default: lowers the DVQ to a
+  logical plan (:mod:`repro.plan`), optimizes it, and executes it over
+  column batches with hash joins and hash grouping;
+* :class:`InterpreterBackend` (``"interpreter"``): the legacy row-at-a-time
+  reference engine, kept as the differential-testing oracle;
+* :class:`repro.sql.SQLiteBackend` (``"sqlite"``): compiles the same logical
+  plan to SQL and runs it on SQLite.
+
+``resolve_backend("columnar" | "interpreter" | "sqlite")`` is the factory
+used by the configuration knobs; :func:`normalize_result` is the
+cross-engine normalisation making every backend return identical results.
 """
 
 from repro.executor.backend import (
@@ -30,8 +38,14 @@ from repro.executor.executor import DVQExecutor, ExecutionResult
 from repro.executor.functions import AGGREGATE_FUNCTIONS, apply_aggregate
 from repro.executor.ordering import canonical_order, order_index
 
+# imported last: repro.executor.columnar pulls in repro.plan, which imports
+# the submodules above while this package is still initialising
+from repro.executor.columnar import ColumnarBackend, ColumnarEngine
+
 __all__ = [
     "AGGREGATE_FUNCTIONS",
+    "ColumnarBackend",
+    "ColumnarEngine",
     "DVQExecutor",
     "ExecutionBackend",
     "ExecutionError",

@@ -229,17 +229,24 @@ class InterpreterBackend:
 BackendSpec = Union[str, ExecutionBackend]
 
 
-def resolve_backend(spec: BackendSpec) -> ExecutionBackend:
-    """Turn a backend name (``"interpreter"`` / ``"sqlite"``) into an instance.
+def resolve_backend(spec: BackendSpec, optimize: bool = True) -> ExecutionBackend:
+    """Turn a backend name into an instance.
 
-    Backend instances pass through unchanged, so callers can hand in a
-    pre-configured (and pre-warmed) backend.  The SQLite backend is imported
-    lazily to keep :mod:`repro.executor` free of a hard dependency on
-    :mod:`repro.sql`.
+    Accepted names: ``"columnar"`` (the plan-driven columnar engine — the
+    default everywhere), ``"interpreter"`` (the legacy row-at-a-time
+    reference engine) and ``"sqlite"`` (the DVQ->SQL compiler over SQLite).
+    ``optimize`` toggles the plan optimizer and only affects the columnar
+    backend.  Backend instances pass through unchanged, so callers can hand
+    in a pre-configured (and pre-warmed) backend.  The SQLite and columnar
+    backends are imported lazily to keep this module light.
     """
     if not isinstance(spec, str):
         return spec
     name = spec.strip().lower()
+    if name == "columnar":
+        from repro.executor.columnar import ColumnarBackend
+
+        return ColumnarBackend(optimize=optimize)
     if name == "interpreter":
         return InterpreterBackend()
     if name == "sqlite":
@@ -247,5 +254,6 @@ def resolve_backend(spec: BackendSpec) -> ExecutionBackend:
 
         return SQLiteBackend()
     raise ValueError(
-        f"Unknown execution backend {spec!r}; expected 'interpreter' or 'sqlite'"
+        f"Unknown execution backend {spec!r}; "
+        "expected 'columnar', 'interpreter' or 'sqlite'"
     )

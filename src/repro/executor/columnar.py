@@ -1,0 +1,352 @@
+"""The columnar physical engine: logical plans over column batches.
+
+This is the fast execution path of the reproduction.  Where the legacy row
+interpreter (:class:`~repro.executor.executor.DVQExecutor`) builds a dict
+``_RowContext`` per joined row, :class:`ColumnarEngine` executes a logical
+plan (:mod:`repro.plan`) over :class:`_Batch`\\ es — aligned column lists
+pulled straight from :meth:`repro.database.table.Table.column_store` — with
+hash-based joins and grouping.  Value semantics are shared with the
+interpreter by construction: predicates evaluate through
+:func:`repro.executor.predicates.evaluate_condition`, binning through
+:func:`repro.executor.binning.bin_value`, aggregates through
+:func:`repro.executor.functions.apply_aggregate`, and the top-k cut through
+the canonical value order of :mod:`repro.executor.ordering` — which is what
+keeps the engine row-for-row identical to the interpreter and SQLite in the
+differential suite.
+
+:class:`ColumnarBackend` wraps the engine behind the
+:class:`~repro.executor.backend.ExecutionBackend` protocol: plan, optimize
+(toggleable), execute, normalise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.database.database import Database
+from repro.dvq.nodes import DVQuery
+from repro.executor.backend import (
+    ExecutionOutcome,
+    explain_execution,
+    normalize_result,
+)
+from repro.executor.binning import bin_value
+from repro.executor.errors import ExecutionError
+from repro.executor.executor import ExecutionResult
+from repro.executor.functions import apply_aggregate
+from repro.executor.ordering import canonical_sorted, legacy_order_key
+from repro.executor.predicates import evaluate_condition
+from repro.plan.nodes import (
+    HASH,
+    Aggregate,
+    AggregateOutput,
+    Bin,
+    BinKey,
+    BinOutput,
+    Comparison,
+    ConstPredicate,
+    Filter,
+    Join,
+    Limit,
+    PlanNode,
+    Predicate,
+    Project,
+    Scan,
+    Sort,
+    output_labels,
+)
+from repro.plan.optimizer import OptimizerConfig, optimize
+
+#: Batch key of the derived bin-label column (cannot collide with a scan key,
+#: whose first element is a table's effective name).
+BIN_COLUMN = ("", "__bin__")
+
+
+class _Batch:
+    """Aligned column lists: the unit of data flowing between plan operators."""
+
+    __slots__ = ("length", "columns")
+
+    def __init__(self, length: int, columns: Dict[Tuple[str, str], List[object]]):
+        self.length = length
+        self.columns = columns
+
+    def gather(self, indices: List[int]) -> Dict[Tuple[str, str], List[object]]:
+        return {
+            key: [column[index] for index in indices]
+            for key, column in self.columns.items()
+        }
+
+
+def _scan_of(node: PlanNode) -> Scan:
+    """The base scan under a join input (skipping pushed-down filters)."""
+    while isinstance(node, Filter):
+        node = node.child
+    assert isinstance(node, Scan), f"join input is not a scan: {type(node).__name__}"
+    return node
+
+
+class ColumnarEngine:
+    """Execute logical plans over column batches.
+
+    ``bin_interval`` is the fixed width of ``BIN ... BY INTERVAL`` buckets,
+    matching the interpreter's parameter.
+    """
+
+    def __init__(self, bin_interval: int = 100):
+        self.bin_interval = bin_interval
+
+    # -- row-producing nodes -------------------------------------------------
+
+    def run(self, plan: PlanNode, database: Database) -> List[Tuple[object, ...]]:
+        """Materialise ``plan`` against ``database`` into output rows."""
+        return self._rows(plan, database)
+
+    def _rows(self, node: PlanNode, database: Database) -> List[Tuple[object, ...]]:
+        if isinstance(node, Limit):
+            return self._limit(node, database)
+        if isinstance(node, Sort):
+            rows = self._rows(node.child, database)
+            index = node.index
+
+            def sort_key(row: Tuple[object, ...]):
+                return legacy_order_key(row[index] if index < len(row) else None)
+
+            return sorted(rows, key=sort_key, reverse=node.descending)
+        if isinstance(node, Aggregate):
+            return self._aggregate(node, database)
+        if isinstance(node, Project):
+            batch = self._batch(node.child, database)
+            columns = [batch.columns[output.column.key()] for output in node.outputs]
+            return [
+                tuple(column[index] for column in columns) for index in range(batch.length)
+            ]
+        raise ExecutionError(f"Unsupported plan root {type(node).__name__}")
+
+    def _limit(self, node: Limit, database: Database) -> List[Tuple[object, ...]]:
+        child = node.child
+        sort = child if isinstance(child, Sort) else None
+        rows = self._rows(sort.child if sort is not None else child, database)
+        # the deterministic cross-engine top-k cut, shared with
+        # normalize_result via executor.ordering.canonical_sorted
+        rows = canonical_sorted(
+            rows,
+            index=sort.index if sort is not None else None,
+            descending=sort.descending if sort is not None else False,
+        )
+        return rows[: node.count]
+
+    def _aggregate(self, node: Aggregate, database: Database) -> List[Tuple[object, ...]]:
+        batch = self._batch(node.child, database)
+        key_columns: List[List[object]] = []
+        for key in node.keys:
+            if isinstance(key, BinKey):
+                key_columns.append(batch.columns[BIN_COLUMN])
+            else:
+                key_columns.append(batch.columns[key.key()])
+        groups: Dict[Tuple[object, ...], List[int]] = {}
+        if key_columns:
+            for index in range(batch.length):
+                group = tuple(column[index] for column in key_columns)
+                members = groups.get(group)
+                if members is None:
+                    groups[group] = [index]
+                else:
+                    members.append(index)
+        elif batch.length:
+            # aggregates-only query: one implicit group, absent on empty input
+            groups[()] = list(range(batch.length))
+        rows: List[Tuple[object, ...]] = []
+        for members in groups.values():  # dict order == first-seen group order
+            row: List[object] = []
+            for output in node.outputs:
+                if isinstance(output, AggregateOutput):
+                    if output.argument is None:  # COUNT(*)
+                        values: List[object] = [1] * len(members)
+                    else:
+                        column = batch.columns[output.argument.key()]
+                        values = [column[index] for index in members]
+                    row.append(
+                        apply_aggregate(output.function, values, distinct=output.distinct)
+                    )
+                elif isinstance(output, BinOutput):
+                    row.append(batch.columns[BIN_COLUMN][members[0]])
+                else:
+                    row.append(batch.columns[output.column.key()][members[0]])
+            rows.append(tuple(row))
+        return rows
+
+    # -- batch-producing nodes -----------------------------------------------
+
+    def _batch(self, node: PlanNode, database: Database) -> _Batch:
+        if isinstance(node, Scan):
+            return self._scan(node, database)
+        if isinstance(node, Filter):
+            return self._filter(node, database)
+        if isinstance(node, Join):
+            return self._join(node, database)
+        if isinstance(node, Bin):
+            batch = self._batch(node.child, database)
+            values = batch.columns[node.column.key()]
+            columns = dict(batch.columns)
+            columns[BIN_COLUMN] = [
+                bin_value(value, node.unit, self.bin_interval) for value in values
+            ]
+            return _Batch(batch.length, columns)
+        raise ExecutionError(f"Unsupported plan node {type(node).__name__}")
+
+    def _scan(self, node: Scan, database: Database) -> _Batch:
+        table = database.table(node.table)
+        store = table.column_store()
+        effective = node.effective.lower()
+        columns = {
+            (effective, name.lower()): store[name] for name in node.columns
+        }
+        return _Batch(len(table), columns)
+
+    def _filter(self, node: Filter, database: Database) -> _Batch:
+        batch = self._batch(node.child, database)
+        mask = self._mask(node.predicate, batch)
+        indices = [index for index, keep in enumerate(mask) if keep]
+        if len(indices) == batch.length:
+            return batch
+        return _Batch(len(indices), batch.gather(indices))
+
+    def _mask(self, predicate: Predicate, batch: _Batch) -> List[bool]:
+        if isinstance(predicate, Comparison):
+            condition = predicate.condition
+            values = batch.columns[predicate.column.key()]
+            return [evaluate_condition(condition, value) for value in values]
+        if isinstance(predicate, ConstPredicate):
+            return [predicate.value] * batch.length
+        left = self._mask(predicate.left, batch)
+        right = self._mask(predicate.right, batch)
+        if predicate.op == "AND":
+            return [a and b for a, b in zip(left, right)]
+        return [a or b for a, b in zip(left, right)]
+
+    def _join(self, node: Join, database: Database) -> _Batch:
+        left = self._batch(node.left, database)
+        right = self._batch(node.right, database)
+        # mirror the interpreter's side resolution: probe with whichever ON
+        # key lives in the already-joined relation, then match it by *bare
+        # column name* in the new table (falling back to the probe key's own
+        # name); when neither step resolves, the interpreter skips every row
+        # pair, i.e. the join is empty
+        if node.left_key.key() in left.columns:
+            probe_column = left.columns[node.left_key.key()]
+            candidates = (node.right_key.column, node.left_key.column)
+        elif node.right_key.key() in left.columns:
+            probe_column = left.columns[node.right_key.key()]
+            candidates = (node.left_key.column,)
+        else:
+            return self._empty_join(left, right)
+        right_effective = _scan_of(node.right).effective.lower()
+        build_column: Optional[List[object]] = None
+        for name in candidates:
+            build_column = right.columns.get((right_effective, name.lower()))
+            if build_column is not None:
+                break
+        if build_column is None:
+            return self._empty_join(left, right)
+        left_indices: List[int] = []
+        right_indices: List[int] = []
+        if node.strategy == HASH:
+            buckets: Dict[object, List[int]] = {}
+            for index, value in enumerate(build_column):
+                bucket = buckets.get(value)
+                if bucket is None:
+                    buckets[value] = [index]
+                else:
+                    bucket.append(index)
+            for index, value in enumerate(probe_column):
+                matches = buckets.get(value)
+                if matches:
+                    left_indices.extend([index] * len(matches))
+                    right_indices.extend(matches)
+        else:
+            for index, probe_value in enumerate(probe_column):
+                for build_index, build_value in enumerate(build_column):
+                    if probe_value == build_value:
+                        left_indices.append(index)
+                        right_indices.append(build_index)
+        columns = left.gather(left_indices)
+        columns.update(right.gather(right_indices))
+        return _Batch(len(left_indices), columns)
+
+    @staticmethod
+    def _empty_join(left: _Batch, right: _Batch) -> _Batch:
+        columns = left.gather([])
+        columns.update(right.gather([]))
+        return _Batch(0, columns)
+
+
+class ColumnarBackend:
+    """Plan-driven execution backend: the default engine of the repo.
+
+    Args:
+        bin_interval: width of ``BIN ... BY INTERVAL`` buckets.
+        normalize: apply the cross-engine result normalisation (on by
+            default, like every backend).
+        optimize: run the plan optimizer before execution.  Turning it off
+            executes the canonical plan (nested-loop joins, unpruned scans) —
+            useful for optimizer ablations and differential testing; results
+            are identical either way.
+        optimizer_config: which optimizer rules apply when ``optimize`` is on.
+    """
+
+    name = "columnar"
+
+    def __init__(
+        self,
+        bin_interval: int = 100,
+        normalize: bool = True,
+        optimize: bool = True,
+        optimizer_config: Optional[OptimizerConfig] = None,
+    ):
+        self._engine = ColumnarEngine(bin_interval=bin_interval)
+        self.normalize = normalize
+        self.optimize = optimize
+        self.optimizer_config = optimizer_config or OptimizerConfig()
+
+    def plan(self, query: DVQuery, database: Database) -> PlanNode:
+        """The plan this backend would execute (optimized when enabled)."""
+        # deferred: repro.plan.planner transitively initialises repro.executor,
+        # so a module-level import would be circular
+        from repro.plan.planner import plan_query
+
+        plan = plan_query(query, database.schema)
+        if self.optimize:
+            plan = optimize(plan, self.optimizer_config)
+        return plan
+
+    def execute(self, query: DVQuery, database: Database) -> ExecutionResult:
+        """Execute ``query`` against ``database`` on the columnar engine.
+
+        Raises:
+            ExecutionError: when the query references missing tables or
+                columns (raised at plan time) — the same failure mode and
+                categories as every backend.
+        """
+        plan = self.plan(query, database)
+        rows = self._engine.run(plan, database)
+        result = ExecutionResult(
+            columns=list(output_labels(plan)),
+            rows=rows,
+            chart_type=query.chart_type.value,
+        )
+        if self.normalize:
+            result = normalize_result(result, query)
+        return result
+
+    def can_execute(self, query: DVQuery, database: Database) -> bool:
+        """True when the query executes without error (used by benches)."""
+        try:
+            self.execute(query, database)
+        except ExecutionError:
+            return False
+        return True
+
+    def explain_failure(self, query: DVQuery, database: Database) -> ExecutionOutcome:
+        """Execute and classify: same categories as the other backends."""
+        return explain_execution(self, query, database)

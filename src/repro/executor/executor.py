@@ -15,7 +15,7 @@ from repro.dvq.nodes import (
 from repro.executor.binning import bin_value
 from repro.executor.errors import ExecutionError
 from repro.executor.functions import apply_aggregate
-from repro.executor.ordering import canonical_order, order_index
+from repro.executor.ordering import canonical_order, legacy_order_key, order_index
 from repro.executor.predicates import evaluate_where
 
 
@@ -59,32 +59,48 @@ class ExecutionResult:
 
 
 class _RowContext:
-    """A joined row with per-source-table sub-rows for qualified lookups."""
+    """A joined row with per-source-table sub-rows for qualified lookups.
 
-    def __init__(self, parts: Dict[str, Dict[str, object]], aliases: Dict[str, str]):
+    ``parts`` is keyed by *lowercase* table name and ``maps`` carries each
+    part's cached lowercase -> exact-casing column map
+    (:meth:`~repro.database.schema.TableSchema.lower_map`), so a lookup is two
+    dict probes instead of an O(columns) scan with repeated ``.lower()`` calls.
+    """
+
+    __slots__ = ("parts", "aliases", "maps")
+
+    def __init__(
+        self,
+        parts: Dict[str, Dict[str, object]],
+        aliases: Dict[str, str],
+        maps: Dict[str, Dict[str, str]],
+    ):
         self.parts = parts
         self.aliases = aliases
+        self.maps = maps
 
     def lookup(self, column: ColumnRef) -> object:
         if column.table:
             table_name = self.aliases.get(column.table.lower(), column.table).lower()
-            for part_name, part in self.parts.items():
-                if part_name.lower() == table_name:
-                    return _lookup_in_row(part, column.column)
-            raise ExecutionError(f"Unknown table or alias {column.table!r}")
-        for part in self.parts.values():
-            try:
-                return _lookup_in_row(part, column.column)
-            except KeyError:
-                continue
+            part = self.parts.get(table_name)
+            if part is None:
+                raise ExecutionError(f"Unknown table or alias {column.table!r}")
+            return _lookup_in_row(part, column.column, self.maps[table_name])
+        key = column.column.lower()
+        for part_name, part in self.parts.items():
+            canonical = self.maps[part_name].get(key)
+            if canonical is not None:
+                return part[canonical]
         raise ExecutionError(f"Unknown column {column.column!r}")
 
 
-def _lookup_in_row(row: Dict[str, object], column_name: str) -> object:
-    for key, value in row.items():
-        if key.lower() == column_name.lower():
-            return value
-    raise KeyError(column_name)
+def _lookup_in_row(
+    row: Dict[str, object], column_name: str, lower_map: Dict[str, str]
+) -> object:
+    canonical = lower_map.get(column_name.lower())
+    if canonical is None:
+        raise KeyError(column_name)
+    return row[canonical]
 
 
 class DVQExecutor:
@@ -136,8 +152,9 @@ class DVQExecutor:
         if query.table_alias:
             aliases[query.table_alias.lower()] = query.table
         primary = database.table(query.table)
+        maps = {primary.name.lower(): primary.schema.lower_map()}
         contexts = [
-            _RowContext({primary.name: row}, aliases) for row in primary.rows
+            _RowContext({primary.name.lower(): row}, aliases, maps) for row in primary.rows
         ]
         for join in query.joins:
             if not database.has_table(join.table):
@@ -149,7 +166,11 @@ class DVQExecutor:
             if join.alias:
                 aliases[join.alias.lower()] = join.table
             joined = database.table(join.table)
-            contexts = self._join(contexts, joined.rows, joined.name, join.left, join.right, aliases)
+            maps = dict(maps)
+            maps[joined.name.lower()] = joined.schema.lower_map()
+            contexts = self._join(
+                contexts, joined.rows, joined.name.lower(), join.left, join.right, aliases, maps
+            )
         self._validate_columns(query, contexts, database)
         return contexts
 
@@ -161,7 +182,9 @@ class DVQExecutor:
         left_key: ColumnRef,
         right_key: ColumnRef,
         aliases: Dict[str, str],
+        maps: Dict[str, Dict[str, str]],
     ) -> List[_RowContext]:
+        right_map = maps[right_name]
         joined: List[_RowContext] = []
         for context in contexts:
             context.aliases = aliases
@@ -173,23 +196,23 @@ class DVQExecutor:
             for row in right_rows:
                 if use_left_on_context:
                     try:
-                        right_value = _lookup_in_row(row, right_key.column)
+                        right_value = _lookup_in_row(row, right_key.column, right_map)
                     except KeyError:
                         try:
-                            right_value = _lookup_in_row(row, left_key.column)
+                            right_value = _lookup_in_row(row, left_key.column, right_map)
                         except KeyError:
                             continue
                 else:
                     # the "left" side of the ON clause actually names the new table
                     try:
-                        right_value = _lookup_in_row(row, left_key.column)
+                        right_value = _lookup_in_row(row, left_key.column, right_map)
                         left_value = context.lookup(right_key)
                     except (KeyError, ExecutionError):
                         continue
                 if left_value == right_value:
                     parts = dict(context.parts)
                     parts[right_name] = row
-                    joined.append(_RowContext(parts, aliases))
+                    joined.append(_RowContext(parts, aliases, maps))
         return joined
 
     def _validate_columns(
@@ -222,9 +245,7 @@ class DVQExecutor:
         return filtered
 
     def _needs_grouping(self, query: DVQuery) -> bool:
-        if query.group_by or query.bin is not None:
-            return True
-        return any(item.is_aggregate for item in query.select)
+        return query.needs_grouping()
 
     def _group_key(self, query: DVQuery, context: _RowContext) -> Tuple[object, ...]:
         keys: List[object] = []
@@ -293,13 +314,9 @@ class DVQExecutor:
         index = self._order_index(query)
 
         def sort_key(row: Tuple[object, ...]):
-            value = row[index] if index < len(row) else None
-            # sort Nones last, mixed types by string form
-            if value is None:
-                return (2, "")
-            if isinstance(value, (int, float)) and not isinstance(value, bool):
-                return (0, float(value))
-            return (1, str(value).lower())
+            # Nones last, mixed types by string form (shared with the
+            # columnar engine's Sort node)
+            return legacy_order_key(row[index] if index < len(row) else None)
 
         reverse = order.direction is SortDirection.DESC
         return sorted(rows, key=sort_key, reverse=reverse)

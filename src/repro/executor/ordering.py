@@ -17,7 +17,7 @@ last ascending and first descending.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.dvq.nodes import AggregateExpr, DVQuery, SortDirection
 
@@ -49,6 +49,22 @@ def row_sort_key(row: Sequence[object]) -> Tuple[Tuple[int, object, str], ...]:
     return tuple(value_sort_key(value) for value in row)
 
 
+def legacy_order_key(value: object) -> Tuple[int, object]:
+    """The interpreter's historical ORDER BY key (pre-normalisation order).
+
+    Like :func:`value_sort_key` — Nones last, numbers before strings, strings
+    case-insensitively — but without the exact-text tiebreak, preserving the
+    seed interpreter's exact sort for results that are not normalised.  Both
+    row engines (the legacy interpreter and the columnar engine's Sort node)
+    share this one definition.
+    """
+    if value is None:
+        return (2, "")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (0, float(value))
+    return (1, str(value).lower())
+
+
 def order_index(query: DVQuery) -> int:
     """The output-column index an ORDER BY clause refers to.
 
@@ -74,23 +90,38 @@ def order_index(query: DVQuery) -> int:
     return 0
 
 
-def canonical_order(
-    rows: Sequence[Tuple[object, ...]], query: DVQuery
+def canonical_sorted(
+    rows: Sequence[Tuple[object, ...]],
+    index: Optional[int] = None,
+    descending: bool = False,
 ) -> List[Tuple[object, ...]]:
-    """Return ``rows`` in the canonical deterministic order for ``query``.
+    """Rows in canonical deterministic order, optionally ORDER-BY-aware.
 
-    Rows are first sorted by their full canonical key; when the query carries
-    an ORDER BY, a stable second pass sorts by the ordered column so that ties
-    keep the ascending canonical order regardless of sort direction.
+    Rows are first sorted by their full canonical key; when ``index`` names a
+    sort column, a stable second pass sorts by it so that ties keep the
+    ascending canonical order regardless of direction.  This is the single
+    definition of the cross-engine order: :func:`canonical_order` feeds it
+    from a query's ORDER BY clause, the columnar engine from a plan's
+    :class:`~repro.plan.nodes.Sort` node.
     """
     ordered = sorted(rows, key=row_sort_key)
-    if query.order_by is not None:
-        index = order_index(query)
+    if index is not None:
 
         def primary_key(row: Tuple[object, ...]):
             return value_sort_key(row[index] if index < len(row) else None)
 
-        ordered.sort(
-            key=primary_key, reverse=query.order_by.direction is SortDirection.DESC
-        )
+        ordered.sort(key=primary_key, reverse=descending)
     return ordered
+
+
+def canonical_order(
+    rows: Sequence[Tuple[object, ...]], query: DVQuery
+) -> List[Tuple[object, ...]]:
+    """Return ``rows`` in the canonical deterministic order for ``query``."""
+    if query.order_by is None:
+        return canonical_sorted(rows)
+    return canonical_sorted(
+        rows,
+        index=order_index(query),
+        descending=query.order_by.direction is SortDirection.DESC,
+    )

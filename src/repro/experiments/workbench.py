@@ -48,16 +48,20 @@ class WorkbenchConfig:
             predictions are independent across examples).
         llm_cache: prepare GRED with ``use_llm_cache`` so repeated completion
             requests across variant test sets are served from memory.
-        execution_backend: when set (``"interpreter"`` or ``"sqlite"``),
-            every evaluation also executes the predicted DVQs on that engine
-            and reports
+        execution_backend: when set (``"columnar"``, ``"interpreter"`` or
+            ``"sqlite"``), every evaluation also executes the predicted DVQs
+            on that engine and reports
             :attr:`~repro.evaluation.evaluator.EvaluationRun.execution_rate`;
             ``None`` (default) skips the execution check, keeping runs
             identical to the historical behaviour.
+        optimize_plans: run the plan optimizer when the columnar engine is
+            used (prepared GRED pipelines and evaluation checks alike).  On
+            by default; results are identical either way — this is the
+            optimizer-ablation switch.
         max_repair_rounds: prepare GRED with the execution-guided repair
             loop enabled for this many rounds (``0`` keeps the historical
             pipeline).  Uses ``execution_backend`` (falling back to the
-            interpreter) for the in-loop execution checks.
+            columnar engine) for the in-loop execution checks.
         index: retrieval-index configuration handed to the prepared GRED
             (see :class:`~repro.index.IndexConfig`) — backend selection,
             partitioning knobs and the optional library snapshot path.
@@ -70,6 +74,7 @@ class WorkbenchConfig:
     max_workers: int = 1
     llm_cache: bool = True
     execution_backend: Optional[str] = None
+    optimize_plans: bool = True
     max_repair_rounds: int = 0
     index: IndexConfig = field(default_factory=IndexConfig)
 
@@ -139,7 +144,8 @@ class Workbench:
             top_k=self.config.gred_top_k,
             use_llm_cache=self.config.llm_cache,
             max_repair_rounds=self.config.max_repair_rounds,
-            execution_backend=self.config.execution_backend or "interpreter",
+            execution_backend=self.config.execution_backend or "columnar",
+            optimize_plans=self.config.optimize_plans,
             index=self.config.index,
         )
 
@@ -164,7 +170,8 @@ class Workbench:
         variants = build_repair_variants(
             top_k=self.config.gred_top_k,
             max_repair_rounds=max_repair_rounds,
-            execution_backend=self.config.execution_backend or "interpreter",
+            execution_backend=self.config.execution_backend or "columnar",
+            optimize_plans=self.config.optimize_plans,
             use_debugger=use_debugger,
             use_llm_cache=self.config.llm_cache,
         )
@@ -244,11 +251,12 @@ class Workbench:
         variants = self.gred_repair_variants(
             max_repair_rounds=max_repair_rounds, use_debugger=use_debugger
         )
-        backend = self.config.execution_backend or "interpreter"
+        backend = self.config.execution_backend or "columnar"
         evaluator = ModelEvaluator(
             limit=self.config.evaluation_limit,
             max_workers=self.config.max_workers,
             execution_backend=backend,
+            optimize_plans=self.config.optimize_plans,
         )
         (baseline_name, baseline), (repaired_name, repaired) = variants.items()
         dataset = self.suite.variant(kind)
@@ -278,6 +286,7 @@ class Workbench:
             limit=self.config.evaluation_limit,
             max_workers=self.config.max_workers,
             execution_backend=self.config.execution_backend,
+            optimize_plans=self.config.optimize_plans,
         )
         return evaluator.evaluate(model, dataset, model_name=model_name)
 

@@ -1,0 +1,98 @@
+"""Logical query plans: one IR between the DVQ AST and every execution engine.
+
+The subpackage has three layers:
+
+* :mod:`repro.plan.nodes` — the immutable plan IR (Scan / Join / Filter /
+  Bin / Aggregate / Project / Sort / Limit) plus the resolved-column and
+  predicate algebra both engines consume;
+* :mod:`repro.plan.planner` — :func:`plan_query`, lowering a parsed
+  :class:`~repro.dvq.nodes.DVQuery` to the canonical plan with all schema
+  resolution (and its interpreter-compatibility quirks) done once;
+* :mod:`repro.plan.optimizer` — :func:`optimize` with the rule set in
+  :class:`OptimizerConfig` (constant folding incl. the null sentinel,
+  predicate pushdown, hash-join selection, projection pruning).
+
+The columnar physical engine (:class:`repro.executor.ColumnarBackend`) runs
+optimized plans over column batches; the SQL compiler
+(:class:`repro.sql.DVQToSQLCompiler`) renders the canonical plan as SQLite
+SQL.  ``plan.explain()`` prints any plan as an indented operator tree — see
+``examples/plan_explain.py``.
+"""
+
+# import order matters: nodes and optimizer must be initialised before
+# planner, whose executor imports transitively load repro.executor.columnar
+# (which needs repro.plan.nodes / repro.plan.optimizer mid-import)
+from repro.plan.nodes import (
+    HASH,
+    NESTED_LOOP,
+    Aggregate,
+    AggregateOutput,
+    Bin,
+    BinKey,
+    BinOutput,
+    ColumnOutput,
+    Comparison,
+    Connective,
+    ConstPredicate,
+    Filter,
+    GroupKey,
+    Join,
+    Limit,
+    OutputExpr,
+    PlanNode,
+    Predicate,
+    Project,
+    ResolvedColumn,
+    Scan,
+    Sort,
+    iter_nodes,
+    output_labels,
+    output_node,
+)
+from repro.plan.optimizer import (
+    DEFAULT_OPTIMIZER,
+    OptimizerConfig,
+    fold_predicate,
+    optimize,
+    prune_projections,
+    push_down_predicates,
+    select_hash_joins,
+)
+from repro.plan.planner import Scope, plan_query
+
+__all__ = [
+    "Aggregate",
+    "AggregateOutput",
+    "Bin",
+    "BinKey",
+    "BinOutput",
+    "ColumnOutput",
+    "Comparison",
+    "Connective",
+    "ConstPredicate",
+    "DEFAULT_OPTIMIZER",
+    "Filter",
+    "GroupKey",
+    "HASH",
+    "Join",
+    "Limit",
+    "NESTED_LOOP",
+    "OptimizerConfig",
+    "OutputExpr",
+    "PlanNode",
+    "Predicate",
+    "Project",
+    "ResolvedColumn",
+    "Scan",
+    "Scope",
+    "Sort",
+    "fold_predicate",
+    "iter_nodes",
+    "optimize",
+    "output_labels",
+    "output_node",
+    "plan_query",
+    "prune_projections",
+    "push_down_predicates",
+    "select_hash_joins",
+]

@@ -1,0 +1,285 @@
+"""Rule-based optimization of logical plans.
+
+:func:`optimize` rewrites a canonical plan (see :mod:`repro.plan.planner`)
+for the columnar physical engine.  Every rule is semantics-preserving — the
+differential suite runs the engine with the optimizer on and off against the
+row interpreter and SQLite — and individually toggleable through
+:class:`OptimizerConfig`:
+
+* **constant folding** (``fold_constants``): comparisons that can never hold
+  (``x > NULL``, BETWEEN with a NULL bound) become ``FALSE``; the
+  interpreter's null-sentinel equality ``x = 'null'`` is folded into the
+  explicit ``(x IS NULL OR x = 'null')`` form (and ``!=`` into its dual) so
+  the quirk is visible in the plan; constant branches collapse through
+  AND/OR.
+* **predicate pushdown** (``pushdown``): top-level AND-conjuncts of a filter
+  above a join chain that reference a single table move below the joins to
+  sit directly on that table's scan, shrinking the join input.
+* **hash-join selection** (``hash_join``): equi-joins whose build side is the
+  newly joined table switch from the interpreter's historical nested loop to
+  a hash join.
+* **projection pruning** (``pruning``): scans materialise only the columns
+  the rest of the plan references (outputs, group keys, predicates, join
+  keys, the bin column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Set, Tuple
+
+from repro.dvq.nodes import Condition
+from repro.plan.nodes import (
+    HASH,
+    Aggregate,
+    Bin,
+    BinKey,
+    Comparison,
+    Connective,
+    ConstPredicate,
+    Filter,
+    Join,
+    Limit,
+    PlanNode,
+    Predicate,
+    Project,
+    AggregateOutput,
+    ColumnOutput,
+    ResolvedColumn,
+    Scan,
+    Sort,
+)
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """Which rewrite rules :func:`optimize` applies (all on by default)."""
+
+    fold_constants: bool = True
+    pushdown: bool = True
+    hash_join: bool = True
+    pruning: bool = True
+
+    def rule_names(self) -> Tuple[str, ...]:
+        names = []
+        for name in ("fold_constants", "pushdown", "hash_join", "pruning"):
+            if getattr(self, name):
+                names.append(name)
+        return tuple(names)
+
+
+DEFAULT_OPTIMIZER = OptimizerConfig()
+
+
+def optimize(plan: PlanNode, config: OptimizerConfig = DEFAULT_OPTIMIZER) -> PlanNode:
+    """Apply the enabled rules to ``plan`` and return the rewritten plan."""
+    if config.fold_constants:
+        plan = fold_plan_constants(plan)
+    if config.pushdown:
+        plan = push_down_predicates(plan)
+    if config.hash_join:
+        plan = select_hash_joins(plan)
+    if config.pruning:
+        plan = prune_projections(plan)
+    return plan
+
+
+def _rewrite(plan: PlanNode, fn) -> PlanNode:
+    """Bottom-up structural rewrite: children first, then ``fn`` on the node."""
+    if isinstance(plan, Join):
+        plan = replace(plan, left=_rewrite(plan.left, fn), right=_rewrite(plan.right, fn))
+    elif isinstance(plan, (Filter, Bin, Aggregate, Project, Sort, Limit)):
+        plan = replace(plan, child=_rewrite(plan.child, fn))
+    return fn(plan)
+
+
+# -- constant folding --------------------------------------------------------
+
+
+def fold_predicate(predicate: Predicate) -> Predicate:
+    """Fold one predicate tree (see module docstring for the rules)."""
+    if isinstance(predicate, Connective):
+        left = fold_predicate(predicate.left)
+        right = fold_predicate(predicate.right)
+        for const, other in ((left, right), (right, left)):
+            if isinstance(const, ConstPredicate):
+                if predicate.op == "AND":
+                    return ConstPredicate(False) if not const.value else other
+                return other if not const.value else ConstPredicate(True)
+        return Connective(op=predicate.op, left=left, right=right)
+    if isinstance(predicate, Comparison):
+        condition = predicate.condition
+        operator = condition.operator.upper()
+        if operator in (">", ">=", "<", "<=") and condition.value is None:
+            return ConstPredicate(False)
+        if operator == "BETWEEN" and (condition.value is None or condition.value2 is None):
+            return ConstPredicate(False)
+        if (
+            operator in ("=", "!=")
+            and isinstance(condition.value, str)
+            and condition.value.lower() == "null"
+        ):
+            # make the interpreter's null-sentinel explicit:  x = 'null' is
+            # (x IS NULL OR x = 'null'); x != 'null' is its dual
+            null_test = Comparison(
+                column=predicate.column,
+                condition=Condition(
+                    column=condition.column, operator="IS NULL", negated=operator == "!="
+                ),
+            )
+            connector = "OR" if operator == "=" else "AND"
+            return Connective(op=connector, left=null_test, right=predicate)
+    return predicate
+
+
+def fold_plan_constants(plan: PlanNode) -> PlanNode:
+    def fold(node: PlanNode) -> PlanNode:
+        if isinstance(node, Filter):
+            predicate = fold_predicate(node.predicate)
+            if isinstance(predicate, ConstPredicate) and predicate.value:
+                return node.child
+            return replace(node, predicate=predicate)
+        return node
+
+    return _rewrite(plan, fold)
+
+
+# -- predicate pushdown ------------------------------------------------------
+
+
+def _split_conjuncts(predicate: Predicate) -> List[Predicate]:
+    if isinstance(predicate, Connective) and predicate.op == "AND":
+        return _split_conjuncts(predicate.left) + _split_conjuncts(predicate.right)
+    return [predicate]
+
+
+def _join_conjuncts(conjuncts: List[Predicate]) -> Predicate:
+    predicate = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        predicate = Connective(op="AND", left=predicate, right=conjunct)
+    return predicate
+
+
+def _scan_effectives(node: PlanNode) -> Set[str]:
+    return {scan.effective.lower() for scan in _scans(node)}
+
+
+def _scans(node: PlanNode) -> List[Scan]:
+    if isinstance(node, Scan):
+        return [node]
+    scans: List[Scan] = []
+    for child in node.children():
+        scans.extend(_scans(child))
+    return scans
+
+
+def push_down_predicates(plan: PlanNode) -> PlanNode:
+    """Move single-table AND-conjuncts of join-topping filters onto their scans."""
+
+    def push(node: PlanNode) -> PlanNode:
+        if not (isinstance(node, Filter) and isinstance(node.child, Join)):
+            return node
+        scans = _scan_effectives(node.child)
+        pushable: Dict[str, List[Predicate]] = {}
+        residual: List[Predicate] = []
+        for conjunct in _split_conjuncts(node.predicate):
+            tables = {column.effective.lower() for column in conjunct.columns()}
+            if len(tables) == 1 and next(iter(tables)) in scans:
+                pushable.setdefault(next(iter(tables)), []).append(conjunct)
+            else:
+                residual.append(conjunct)
+        if not pushable:
+            return node
+        rewritten = _attach_filters(node.child, pushable)
+        if residual:
+            return Filter(child=rewritten, predicate=_join_conjuncts(residual))
+        return rewritten
+
+    return _rewrite(plan, push)
+
+
+def _attach_filters(node: PlanNode, pushable: Dict[str, List[Predicate]]) -> PlanNode:
+    if isinstance(node, Scan):
+        conjuncts = pushable.get(node.effective.lower())
+        if conjuncts:
+            return Filter(child=node, predicate=_join_conjuncts(conjuncts))
+        return node
+    if isinstance(node, Join):
+        return replace(
+            node,
+            left=_attach_filters(node.left, pushable),
+            right=_attach_filters(node.right, pushable),
+        )
+    if isinstance(node, Filter):  # a filter pushed by an earlier pass
+        return replace(node, child=_attach_filters(node.child, pushable))
+    return node
+
+
+# -- hash-join selection -----------------------------------------------------
+
+
+def select_hash_joins(plan: PlanNode) -> PlanNode:
+    def select(node: PlanNode) -> PlanNode:
+        if isinstance(node, Join) and node.build_key is not None:
+            return replace(node, strategy=HASH)
+        return node
+
+    return _rewrite(plan, select)
+
+
+# -- projection pruning ------------------------------------------------------
+
+
+def _referenced_columns(plan: PlanNode) -> Set[Tuple[str, str]]:
+    needed: Set[Tuple[str, str]] = set()
+
+    def note(column: ResolvedColumn) -> None:
+        needed.add(column.key())
+
+    from repro.plan.nodes import iter_nodes
+
+    for node in iter_nodes(plan):
+        if isinstance(node, Join):
+            note(node.left_key)
+            note(node.right_key)
+            # the engine matches the build side by bare column name in the
+            # newly joined table (interpreter semantics) — keep both ON-key
+            # names available on the right scan so pruning cannot change
+            # which rows a degenerate join produces
+            right_effective = _scans(node.right)[0].effective.lower()
+            needed.add((right_effective, node.left_key.column.lower()))
+            needed.add((right_effective, node.right_key.column.lower()))
+        elif isinstance(node, Filter):
+            for column in node.predicate.columns():
+                note(column)
+        elif isinstance(node, Bin):
+            note(node.column)
+        elif isinstance(node, Aggregate):
+            for key in node.keys:
+                if not isinstance(key, BinKey):
+                    note(key)
+            for output in node.outputs:
+                if isinstance(output, ColumnOutput):
+                    note(output.column)
+                elif isinstance(output, AggregateOutput) and output.argument is not None:
+                    note(output.argument)
+        elif isinstance(node, Project):
+            for output in node.outputs:
+                note(output.column)
+    return needed
+
+
+def prune_projections(plan: PlanNode) -> PlanNode:
+    """Narrow every scan to the columns the rest of the plan references."""
+    needed = _referenced_columns(plan)
+
+    def prune(node: PlanNode) -> PlanNode:
+        if isinstance(node, Scan):
+            effective = node.effective.lower()
+            columns = tuple(
+                column for column in node.columns if (effective, column.lower()) in needed
+            )
+            return replace(node, columns=columns)
+        return node
+
+    return _rewrite(plan, prune)

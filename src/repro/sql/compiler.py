@@ -1,10 +1,19 @@
-"""Lowering of DVQ ASTs to parameterised SQL for the SQLite backend.
+"""Lowering of logical plans to parameterised SQL for the SQLite backend.
 
 :class:`DVQToSQLCompiler` turns a parsed :class:`~repro.dvq.nodes.DVQuery`
 into a :class:`CompiledQuery` — one SQL string plus an ordered tuple of bound
-parameters — resolved against a database schema.  The compiled SQL reproduces
-the *interpreter's* semantics (see :mod:`repro.executor`), which differ from
-vanilla SQL in a few deliberate ways:
+parameters.  Since the unified-IR refactor, the compiler no longer walks the
+raw AST: it lowers the *canonical logical plan* produced by
+:func:`repro.plan.planner.plan_query`, the same plan the columnar engine
+executes.  All schema resolution — table existence, alias handling (including
+the interpreter's tolerance for qualifying by the underlying table name even
+when aliased), exact column casing, column types, the ORDER BY output index —
+happens once in the planner; unknown tables or columns raise
+:class:`~repro.executor.errors.ExecutionError` there, keeping the "no chart"
+failure mode identical across backends.
+
+The rendered SQL reproduces the *interpreter's* value semantics, which differ
+from vanilla SQL in a few deliberate ways:
 
 * ``=`` / ``!=`` / ``IN`` compare strings case-insensitively
   (``COLLATE NOCASE``), matching the interpreter's loose equality.
@@ -15,22 +24,19 @@ vanilla SQL in a few deliberate ways:
   inner match to False and negates it, where SQL three-valued logic would
   drop the row.
 * WHERE connectors associate strictly left-to-right with no AND-over-OR
-  precedence (``a OR b AND c`` compiles to ``((a OR b) AND c)``), matching
-  nvBench's flat DVQ semantics.
+  precedence (``a OR b AND c`` compiles to ``((a OR b) AND c)``) — encoded
+  structurally in the plan's left-associative predicate tree.
 * ORDER BY sorts NULLs last ascending / first descending, and text
-  case-insensitively, matching the interpreter's sort key; when the query
-  carries a ``LIMIT``, every output column is appended as a canonical
-  tiebreak so the top-k cut is deterministic across engines.
+  case-insensitively, matching the interpreter's sort key; when the plan
+  carries a :class:`~repro.plan.nodes.Limit`, every output column is appended
+  as a canonical tiebreak so the top-k cut is deterministic across engines.
 * ``BIN ... BY ...`` lowers to a scalar expression chosen from the binned
   column's declared type: ``substr``/``strftime`` arithmetic for dates, a
   floor-division interval label for numbers.
 
-Column references are resolved against the schema during compilation —
-unqualified names search the primary table then the joined tables in order,
-aliases are honoured (including the interpreter's tolerance for qualifying by
-the underlying table name even when it is aliased) — and unknown tables or
-columns raise :class:`~repro.executor.errors.ExecutionError`, keeping the
-"no chart" failure mode identical across backends.
+The compiler expects the canonical plan spine (optimizer rules such as
+predicate pushdown target the columnar engine; SQLite plans its own joins) —
+:meth:`DVQToSQLCompiler.compile` always lowers the unoptimized plan.
 """
 
 from __future__ import annotations
@@ -39,19 +45,29 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple, Union
 
 from repro.database.database import Database
-from repro.database.schema import Column, ColumnType, DatabaseSchema, TableSchema
-from repro.dvq.nodes import (
-    AggregateExpr,
-    BinUnit,
-    ColumnRef,
-    Condition,
-    DVQuery,
-    JoinClause,
-    SelectItem,
-    SortDirection,
-)
+from repro.database.schema import ColumnType, DatabaseSchema
+from repro.dvq.nodes import Condition, DVQuery
 from repro.executor.errors import ExecutionError
-from repro.executor.ordering import order_index
+from repro.plan.nodes import (
+    Aggregate,
+    AggregateOutput,
+    Bin,
+    BinKey,
+    BinOutput,
+    Comparison,
+    ConstPredicate,
+    Filter,
+    Join,
+    Limit,
+    OutputExpr,
+    PlanNode,
+    Predicate,
+    Project,
+    ResolvedColumn,
+    Scan,
+    Sort,
+)
+from repro.plan.planner import plan_query
 
 _WEEKDAY_CASES = (
     "CASE strftime('%w', {x}) "
@@ -66,6 +82,10 @@ def quote_identifier(name: str) -> str:
     return '"' + name.replace('"', '""') + '"'
 
 
+def _column_sql(column: ResolvedColumn) -> str:
+    return f"{quote_identifier(column.effective)}.{quote_identifier(column.column)}"
+
+
 @dataclass(frozen=True)
 class CompiledQuery:
     """One executable SQL statement lowered from a DVQ.
@@ -74,7 +94,7 @@ class CompiledQuery:
         sql: the SQL text with ``?`` placeholders.
         params: bound parameter values, in placeholder order.
         columns: output column labels (the DVQ select renderings, not SQL
-            aliases — both backends label results identically).
+            aliases — every backend labels results identically).
     """
 
     sql: str
@@ -83,61 +103,75 @@ class CompiledQuery:
 
 
 @dataclass(frozen=True)
-class _TableEntry:
-    """One table visible to the query: schema plus its effective SQL name."""
+class _Spine:
+    """The canonical plan unpacked into its clause-shaped pieces."""
 
-    schema: TableSchema
-    effective: str  # alias if present, else the table name
+    scan: Scan
+    joins: Tuple[Join, ...]
+    filter: Optional[Filter]
+    bin: Optional[Bin]
+    output: Union[Aggregate, Project]
+    sort: Optional[Sort]
+    limit: Optional[Limit]
 
-    def sql_name(self) -> str:
-        return quote_identifier(self.effective)
 
-
-class _Scope:
-    """Column resolution over the tables a query references."""
-
-    def __init__(self) -> None:
-        self.entries: List[_TableEntry] = []
-
-    def add(self, schema: TableSchema, alias: Optional[str]) -> None:
-        self.entries.append(_TableEntry(schema=schema, effective=alias or schema.name))
-
-    def resolve(self, ref: ColumnRef, query: DVQuery) -> Tuple[_TableEntry, Column]:
-        """Find the table entry and column a reference points at.
-
-        Qualified references match the alias or the underlying table name
-        (the interpreter accepts either); unqualified references search the
-        tables in join order, mirroring the interpreter's lookup.
-        """
-        if ref.table:
-            wanted = ref.table.lower()
-            for entry in self.entries:
-                if wanted in (entry.effective.lower(), entry.schema.name.lower()):
-                    if entry.schema.has_column(ref.column):
-                        return entry, entry.schema.column(ref.column)
-                    raise ExecutionError(
-                        f"Table {ref.table!r} has no column {ref.column!r}", query=query
-                    )
-            raise ExecutionError(f"Unknown table or alias {ref.table!r}", query=query)
-        for entry in self.entries:
-            if entry.schema.has_column(ref.column):
-                return entry, entry.schema.column(ref.column)
-        raise ExecutionError(f"Unknown column {ref.column!r}", query=query)
-
-    def column_sql(self, ref: ColumnRef, query: DVQuery) -> str:
-        entry, column = self.resolve(ref, query)
-        return f"{entry.sql_name()}.{quote_identifier(column.name)}"
-
-    def column_type(self, ref: ColumnRef, query: DVQuery) -> ColumnType:
-        _, column = self.resolve(ref, query)
-        return column.ctype
+def _unpack_spine(plan: PlanNode) -> _Spine:
+    limit = None
+    sort = None
+    node = plan
+    if isinstance(node, Limit):
+        limit = node
+        node = node.child
+    if isinstance(node, Sort):
+        sort = node
+        node = node.child
+    if not isinstance(node, (Aggregate, Project)):
+        raise ValueError(
+            f"Not a canonical plan (found {type(node).__name__} at the output "
+            "position); the SQL compiler lowers unoptimized plans only"
+        )
+    output = node
+    node = node.child
+    bin_node = None
+    if isinstance(node, Bin):
+        bin_node = node
+        node = node.child
+    filter_node = None
+    if isinstance(node, Filter):
+        filter_node = node
+        node = node.child
+    joins: List[Join] = []
+    while isinstance(node, Join):
+        if not isinstance(node.right, Scan):
+            raise ValueError(
+                f"Not a canonical plan (found {type(node.right).__name__} as a "
+                "join input); the SQL compiler lowers unoptimized plans only"
+            )
+        joins.append(node)
+        node = node.left
+    if not isinstance(node, Scan):
+        raise ValueError(
+            f"Not a canonical plan (found {type(node).__name__} below the join chain); "
+            "the SQL compiler lowers unoptimized plans only"
+        )
+    joins.reverse()
+    return _Spine(
+        scan=node,
+        joins=tuple(joins),
+        filter=filter_node,
+        bin=bin_node,
+        output=output,
+        sort=sort,
+        limit=limit,
+    )
 
 
 class DVQToSQLCompiler:
-    """Compile DVQ ASTs into parameterised SQL with interpreter semantics.
+    """Compile DVQs into parameterised SQL with interpreter semantics.
 
+    Lowers via the shared logical plan (:func:`repro.plan.planner.plan_query`).
     ``bin_interval`` is the fixed width of ``BIN ... BY INTERVAL`` buckets,
-    matching :class:`~repro.executor.executor.DVQExecutor`'s parameter.
+    matching the interpreter's and the columnar engine's parameter.
     """
 
     def __init__(self, bin_interval: int = 100):
@@ -150,150 +184,125 @@ class DVQToSQLCompiler:
 
         Raises:
             ExecutionError: when the query references tables or columns that
-                do not exist — the same failure mode as the interpreter.
+                do not exist — raised by the planner, the same failure mode
+                as every engine.
         """
-        if isinstance(schema, Database):
-            schema = schema.schema
-        scope = self._build_scope(query, schema)
-        params: List[object] = []
+        return self.compile_plan(plan_query(query, schema))
 
-        select_sql = [
-            self._select_item_sql(item, query, scope) for item in query.select
-        ]
-        sql_parts = ["SELECT", " , ".join(select_sql), "FROM", self._from_sql(query, schema)]
-        for join in query.joins:
-            sql_parts.append(self._join_sql(join, query, scope))
-        if query.where is not None and query.where.conditions:
+    def compile_plan(self, plan: PlanNode) -> CompiledQuery:
+        """Render a *canonical* logical plan as one SQL statement.
+
+        Raises:
+            ValueError: when the plan is not in canonical shape (e.g. it was
+                rewritten by the optimizer's predicate pushdown).
+        """
+        spine = _unpack_spine(plan)
+        params: List[object] = []
+        select_sql = [self._output_sql(output, spine.bin) for output in spine.output.outputs]
+        sql_parts = ["SELECT", " , ".join(select_sql), "FROM", self._scan_sql(spine.scan)]
+        for join in spine.joins:
+            sql_parts.append(self._join_sql(join))
+        if spine.filter is not None:
             sql_parts.append("WHERE")
-            sql_parts.append(self._where_sql(query, scope, params))
-        group_exprs = self._group_exprs(query, scope)
-        if group_exprs:
+            sql_parts.append(self._predicate_sql(spine.filter.predicate, params))
+        if isinstance(spine.output, Aggregate):
             sql_parts.append("GROUP BY")
-            sql_parts.append(" , ".join(group_exprs))
-        order_sql = self._order_sql(query, select_sql)
+            sql_parts.append(" , ".join(self._group_exprs(spine.output, spine.bin)))
+        order_sql = self._order_sql(spine.sort, spine.limit, select_sql)
         if order_sql:
             sql_parts.append(order_sql)
-        if query.limit is not None:
+        if spine.limit is not None:
             sql_parts.append("LIMIT ?")
-            params.append(int(query.limit))
-        columns = tuple(item.render() for item in query.select)
+            params.append(int(spine.limit.count))
+        columns = tuple(output.label for output in spine.output.outputs)
         return CompiledQuery(
             sql=" ".join(sql_parts), params=tuple(params), columns=columns
         )
 
-    # -- scope and FROM/JOIN ------------------------------------------------
+    # -- FROM / JOIN ---------------------------------------------------------
 
-    def _build_scope(self, query: DVQuery, schema: DatabaseSchema) -> _Scope:
-        scope = _Scope()
-        if not schema.has_table(query.table):
-            raise ExecutionError(
-                f"Database {schema.name!r} has no table {query.table!r}",
-                query=query,
-                database=schema.name,
-            )
-        scope.add(schema.table(query.table), query.table_alias)
-        for join in query.joins:
-            if not schema.has_table(join.table):
-                raise ExecutionError(
-                    f"Database {schema.name!r} has no table {join.table!r}",
-                    query=query,
-                    database=schema.name,
-                )
-            scope.add(schema.table(join.table), join.alias)
-        return scope
-
-    def _from_sql(self, query: DVQuery, schema: DatabaseSchema) -> str:
-        table = quote_identifier(schema.table(query.table).name)
-        if query.table_alias:
-            return f"{table} AS {quote_identifier(query.table_alias)}"
+    def _scan_sql(self, scan: Scan) -> str:
+        table = quote_identifier(scan.table)
+        if scan.effective != scan.table:
+            return f"{table} AS {quote_identifier(scan.effective)}"
         return table
 
-    def _join_sql(self, join: JoinClause, query: DVQuery, scope: _Scope) -> str:
-        joined = quote_identifier(join.table)
-        if join.alias:
-            joined = f"{joined} AS {quote_identifier(join.alias)}"
-        left = scope.column_sql(join.left, query)
-        right = scope.column_sql(join.right, query)
+    def _join_sql(self, join: Join) -> str:
+        scan = join.right  # a Scan — _unpack_spine validated the join inputs
+        joined = quote_identifier(scan.table)
+        if scan.effective != scan.table:
+            joined = f"{joined} AS {quote_identifier(scan.effective)}"
+        left = _column_sql(join.left_key)
+        right = _column_sql(join.right_key)
         return f"JOIN {joined} ON {left} = {right}"
 
-    # -- SELECT -------------------------------------------------------------
+    # -- SELECT --------------------------------------------------------------
 
-    def _select_item_sql(self, item: SelectItem, query: DVQuery, scope: _Scope) -> str:
-        if isinstance(item.expr, AggregateExpr):
-            aggregate = item.expr
-            if aggregate.argument.column == "*":
-                inner = "*"
-            else:
-                inner = scope.column_sql(aggregate.argument, query)
-            if aggregate.distinct:
+    def _output_sql(self, output: OutputExpr, bin_node: Optional[Bin]) -> str:
+        if isinstance(output, AggregateOutput):
+            inner = "*" if output.argument is None else _column_sql(output.argument)
+            if output.distinct:
                 inner = f"DISTINCT {inner}"
-            sql = f"{aggregate.function.value}({inner})"
             # interpreter aggregates are float-valued (SUM of ints gives 6.0);
             # value coercion in normalize_result re-canonicalises both sides,
             # so the raw SQLite integer is fine here
-            return sql
-        if (
-            query.bin is not None
-            and item.column.lower_key() == query.bin.column.lower_key()
-        ):
-            return self._bin_sql(query, scope)
-        return scope.column_sql(item.expr, query)
+            return f"{output.function}({inner})"
+        if isinstance(output, BinOutput):
+            assert bin_node is not None
+            return self._bin_sql(bin_node)
+        return _column_sql(output.column)
 
-    # -- BIN ----------------------------------------------------------------
+    # -- BIN -----------------------------------------------------------------
 
-    def _bin_sql(self, query: DVQuery, scope: _Scope) -> str:
-        assert query.bin is not None
-        column_sql = scope.column_sql(query.bin.column, query)
-        ctype = scope.column_type(query.bin.column, query)
-        unit = query.bin.unit
-        if unit is BinUnit.YEAR:
+    def _bin_sql(self, bin_node: Bin) -> str:
+        column_sql = _column_sql(bin_node.column)
+        ctype = bin_node.column.ctype
+        unit = bin_node.unit.value
+        if unit == "YEAR":
             if ctype is ColumnType.DATE:
                 return f"CAST(substr({column_sql}, 1, 4) AS INTEGER)"
             if ctype in (ColumnType.NUMBER, ColumnType.BOOLEAN):
                 return f"CAST({column_sql} AS INTEGER)"
             return column_sql
-        if unit is BinUnit.MONTH:
+        if unit == "MONTH":
             if ctype is ColumnType.DATE:
                 return f"CAST(substr({column_sql}, 6, 2) AS INTEGER)"
             return column_sql
-        if unit is BinUnit.WEEKDAY:
+        if unit == "WEEKDAY":
             if ctype is ColumnType.DATE:
                 return _WEEKDAY_CASES.format(x=column_sql)
             return column_sql
-        if unit is BinUnit.INTERVAL:
-            if ctype in (ColumnType.NUMBER, ColumnType.BOOLEAN):
-                width = self.bin_interval
-                ratio = f"{column_sql} * 1.0 / {width}"
-                # floor() without the floor() function (needs SQLite >= 3.35):
-                # truncate toward zero, then subtract 1 when truncation rounded
-                # a negative ratio up
-                floor = (
-                    f"( CAST({ratio} AS INTEGER) - "
-                    f"( {ratio} < CAST({ratio} AS INTEGER) ) )"
-                )
-                low = f"{floor} * {width}"
-                return f"('[' || ({low}) || ', ' || (({low}) + {width}) || ')')"
-            return column_sql
-        raise ExecutionError(f"Unsupported bin unit {unit!r}", query=query)
-
-    # -- WHERE --------------------------------------------------------------
-
-    def _where_sql(self, query: DVQuery, scope: _Scope, params: List[object]) -> str:
-        where = query.where
-        assert where is not None
-        rendered = self._condition_sql(where.conditions[0], query, scope, params)
-        for index, connector in enumerate(where.connectors):
-            # strict left-to-right evaluation, no AND-over-OR precedence
-            nxt = self._condition_sql(
-                where.conditions[index + 1], query, scope, params
+        # INTERVAL
+        if ctype in (ColumnType.NUMBER, ColumnType.BOOLEAN):
+            width = self.bin_interval
+            ratio = f"{column_sql} * 1.0 / {width}"
+            # floor() without the floor() function (needs SQLite >= 3.35):
+            # truncate toward zero, then subtract 1 when truncation rounded
+            # a negative ratio up
+            floor = (
+                f"( CAST({ratio} AS INTEGER) - "
+                f"( {ratio} < CAST({ratio} AS INTEGER) ) )"
             )
-            rendered = f"( {rendered} {connector.upper()} {nxt} )"
-        return rendered
+            low = f"{floor} * {width}"
+            return f"('[' || ({low}) || ', ' || (({low}) + {width}) || ')')"
+        return column_sql
+
+    # -- WHERE ---------------------------------------------------------------
+
+    def _predicate_sql(self, predicate: Predicate, params: List[object]) -> str:
+        if isinstance(predicate, Comparison):
+            return self._condition_sql(predicate.column, predicate.condition, params)
+        if isinstance(predicate, ConstPredicate):
+            return "1" if predicate.value else "0"
+        left = self._predicate_sql(predicate.left, params)
+        right = self._predicate_sql(predicate.right, params)
+        # the plan's predicate tree is left-associative by construction
+        return f"( {left} {predicate.op} {right} )"
 
     def _condition_sql(
-        self, condition: Condition, query: DVQuery, scope: _Scope, params: List[object]
+        self, resolved: ResolvedColumn, condition: Condition, params: List[object]
     ) -> str:
-        column = scope.column_sql(condition.column, query)
+        column = _column_sql(resolved)
         operator = condition.operator.upper()
         if operator == "IS NULL":
             return f"{column} IS NOT NULL" if condition.negated else f"{column} IS NULL"
@@ -340,47 +349,35 @@ class DVQToSQLCompiler:
         if operator in (">", ">=", "<", "<="):
             params.append(condition.value)
             return f"{column} {operator} ?"
-        raise ExecutionError(
-            f"Unsupported comparison operator {condition.operator!r}", query=query
-        )
+        raise ExecutionError(f"Unsupported comparison operator {condition.operator!r}")
 
-    # -- GROUP BY -----------------------------------------------------------
+    # -- GROUP BY ------------------------------------------------------------
 
-    def _needs_grouping(self, query: DVQuery) -> bool:
-        if query.group_by or query.bin is not None:
-            return True
-        return any(item.is_aggregate for item in query.select)
-
-    def _group_exprs(self, query: DVQuery, scope: _Scope) -> List[str]:
-        if not self._needs_grouping(query):
-            return []
+    def _group_exprs(self, aggregate: Aggregate, bin_node: Optional[Bin]) -> List[str]:
         exprs: List[str] = []
-        if query.bin is not None:
-            exprs.append(self._bin_sql(query, scope))
-        for column in query.group_by:
-            exprs.append(scope.column_sql(column, query))
-        if not exprs:
-            # implicit grouping by the non-aggregated select columns
-            for item in query.select:
-                if not item.is_aggregate and item.column.column != "*":
-                    exprs.append(scope.column_sql(item.column, query))
+        for key in aggregate.keys:
+            if isinstance(key, BinKey):
+                assert bin_node is not None
+                exprs.append(self._bin_sql(bin_node))
+            else:
+                exprs.append(_column_sql(key))
         if not exprs:
             # aggregates-only query: a constant group collapses to one row on
             # data and — unlike a bare aggregate SELECT — to zero rows on
-            # empty input, matching the interpreter
+            # empty input, matching the interpreter and the columnar engine
             exprs.append("'__all__'")
         return exprs
 
-    # -- ORDER BY / LIMIT ---------------------------------------------------
+    # -- ORDER BY / LIMIT ----------------------------------------------------
 
-    def _order_sql(self, query: DVQuery, select_sql: List[str]) -> str:
+    def _order_sql(
+        self, sort: Optional[Sort], limit: Optional[Limit], select_sql: List[str]
+    ) -> str:
         terms: List[str] = []
-        if query.order_by is not None:
-            index = order_index(query)
-            expr = select_sql[index] if index < len(select_sql) else select_sql[0]
-            descending = query.order_by.direction is SortDirection.DESC
-            terms.extend(self._order_terms(expr, descending))
-        if query.limit is not None:
+        if sort is not None:
+            expr = select_sql[sort.index] if sort.index < len(select_sql) else select_sql[0]
+            terms.extend(self._order_terms(expr, sort.descending))
+        if limit is not None:
             # deterministic top-k: canonical ascending tiebreak over every
             # output column, mirroring executor.ordering.canonical_order
             for expr in select_sql:

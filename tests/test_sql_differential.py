@@ -1,12 +1,15 @@
-"""Differential test harness: SQLite backend vs interpreter backend.
+"""Differential test harness: every execution engine vs the row interpreter.
 
 A seeded :class:`~repro.dvq.generate.RandomDVQGenerator` produces hundreds of
 queries from the portable DVQ subset — across chart types, aggregates,
 binning, joins, predicates and top-k — over randomly generated databases
 (with NULLs injected into non-key columns).  Every query must execute to an
 *identical* :class:`~repro.executor.executor.ExecutionResult` (columns, rows
-and row order after normalisation) on both engines, with the interpreter as
-the reference oracle.
+and row order after normalisation) on every engine, with the legacy
+row-at-a-time interpreter as the reference oracle.  The engine axis covers
+the full matrix the configuration knobs expose: the SQLite backend, and the
+columnar plan engine with the optimizer on and off (rule-by-rule ablations
+live in ``tests/test_plan.py``).
 
 Run this suite alone with ``make test-diff`` (it is marked
 ``differential``).
@@ -24,10 +27,23 @@ from repro.database.database import Database
 from repro.database.schema import ColumnType, build_schema
 from repro.dvq import parse_dvq, serialize_dvq
 from repro.dvq.generate import RandomDVQGenerator
-from repro.executor import InterpreterBackend
+from repro.executor import ColumnarBackend, InterpreterBackend
 from repro.sql import DVQToSQLCompiler, SQLiteBackend
 
 pytestmark = pytest.mark.differential
+
+#: The engine x optimizer axis: every non-reference engine must match the
+#: interpreter row-for-row.  Fresh instances per test keep engine state
+#: (SQLite connection caches) isolated.
+ENGINE_FACTORIES = {
+    "sqlite": SQLiteBackend,
+    "columnar": lambda: ColumnarBackend(optimize=True),
+    "columnar-noopt": lambda: ColumnarBackend(optimize=False),
+}
+
+
+def _engine_params():
+    return [pytest.param(factory, id=name) for name, factory in ENGINE_FACTORIES.items()]
 
 
 def _hr_schema():
@@ -157,11 +173,14 @@ def _generate_corpus(database: Database, generator_seed: int, count: int):
     return generator.generate_many(database, count)
 
 
+@pytest.mark.parametrize("engine_factory", _engine_params())
 @pytest.mark.parametrize("schema_builder,data_seed,generator_seed,count", _CASES)
-def test_backends_agree_on_generated_queries(schema_builder, data_seed, generator_seed, count):
+def test_backends_agree_on_generated_queries(
+    schema_builder, data_seed, generator_seed, count, engine_factory
+):
     database = _build_database(schema_builder, data_seed)
     interpreter = InterpreterBackend()
-    sqlite = SQLiteBackend()
+    engine = engine_factory()
     compiler = DVQToSQLCompiler()
     for query in _generate_corpus(database, generator_seed, count):
         # the harness compares through the text form: generated queries must
@@ -170,13 +189,17 @@ def test_backends_agree_on_generated_queries(schema_builder, data_seed, generato
         parsed = parse_dvq(text)
         assert serialize_dvq(parsed) == text
         expected = interpreter.execute(parsed, database)
-        actual = sqlite.execute(parsed, database)
-        compiled = compiler.compile(parsed, database.schema)
+        actual = engine.execute(parsed, database)
+        detail = (
+            f"SQL: {compiler.compile(parsed, database.schema).sql}"
+            if engine.name == "sqlite"
+            else f"plan:\n{engine.plan(parsed, database).explain()}"
+        )
         assert actual.columns == expected.columns, f"columns differ for {text!r}"
         assert actual.chart_type == expected.chart_type
         assert actual.rows == expected.rows, (
-            f"rows differ for {text!r}\n  SQL: {compiled.sql}\n"
-            f"  interpreter: {expected.rows[:8]}\n  sqlite:      {actual.rows[:8]}"
+            f"rows differ for {text!r}\n  {detail}\n"
+            f"  interpreter: {expected.rows[:8]}\n  {engine.name}: {actual.rows[:8]}"
         )
 
 
@@ -222,9 +245,10 @@ _BROKEN_TEMPLATES = [
 ]
 
 
+@pytest.mark.parametrize("engine_factory", _engine_params())
 @pytest.mark.parametrize("schema_builder,data_seed,generator_seed,count", _CASES)
 def test_backends_agree_on_failure_categories(
-    schema_builder, data_seed, generator_seed, count
+    schema_builder, data_seed, generator_seed, count, engine_factory
 ):
     """`explain_failure` parity: same category and missing identifiers per engine.
 
@@ -234,12 +258,12 @@ def test_backends_agree_on_failure_categories(
     """
     database = _build_database(schema_builder, data_seed)
     interpreter = InterpreterBackend()
-    sqlite = SQLiteBackend()
+    engine = engine_factory()
     main_table = database.schema.tables[0].name
     for category, template in _BROKEN_TEMPLATES:
         query = parse_dvq(template.format(table=main_table))
         left = interpreter.explain_failure(query, database)
-        right = sqlite.explain_failure(query, database)
+        right = engine.explain_failure(query, database)
         assert left.category == category, template
         assert right.category == category, template
         assert left.missing == right.missing
@@ -248,7 +272,7 @@ def test_backends_agree_on_failure_categories(
     for query in _generate_corpus(database, generator_seed, count)[:30]:
         broken = query.replace(table="no_such_table_xyz")
         left = interpreter.explain_failure(broken, database)
-        right = sqlite.explain_failure(broken, database)
+        right = engine.explain_failure(broken, database)
         assert left.category == right.category == "missing_table", serialize_dvq(broken)
         assert left.missing == right.missing == ("no_such_table_xyz",)
 
@@ -263,7 +287,8 @@ def test_unsupported_category_carries_no_missing_identifiers():
     assert outcome.missing == ()
 
 
-def test_backends_agree_on_cross_table_column_category():
+@pytest.mark.parametrize("engine_factory", _engine_params())
+def test_backends_agree_on_cross_table_column_category(engine_factory):
     """A column that exists elsewhere in the database but not in the read tables."""
     database = _build_database(_hr_schema, 11)
     query = parse_dvq(
@@ -271,21 +296,22 @@ def test_backends_agree_on_cross_table_column_category():
         "FROM departments GROUP BY DEPARTMENT_NAME"
     )
     left = InterpreterBackend().explain_failure(query, database)
-    right = SQLiteBackend().explain_failure(query, database)
+    right = engine_factory().explain_failure(query, database)
     assert left.category == right.category == "missing_column"
     assert left.missing == right.missing == ("SALARY",)
 
 
+@pytest.mark.parametrize("engine_factory", _engine_params())
 @pytest.mark.parametrize("schema_builder,data_seed,generator_seed,count", _CASES)
 def test_explain_failure_is_ok_for_the_whole_portable_corpus(
-    schema_builder, data_seed, generator_seed, count
+    schema_builder, data_seed, generator_seed, count, engine_factory
 ):
     database = _build_database(schema_builder, data_seed)
     interpreter = InterpreterBackend()
-    sqlite = SQLiteBackend()
+    engine = engine_factory()
     for query in _generate_corpus(database, generator_seed, count)[:20]:
         assert interpreter.explain_failure(query, database).ok
-        assert sqlite.explain_failure(query, database).ok
+        assert engine.explain_failure(query, database).ok
 
 
 def test_databases_contain_nulls():
