@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-diff bench bench-index bench-index-check bench-plan bench-plan-check bench-paper-scale quickstart lint
+.PHONY: test test-fast test-diff bench bench-index bench-index-check bench-plan bench-plan-check bench-paper-scale fuzz fuzz-check quickstart lint
 
 test:            ## tier-1 suite (tests/ + benchmarks/, fail fast)
 	$(PYTHON) -m pytest -x -q
@@ -32,6 +32,15 @@ bench-plan-check: ## plan benchmark correctness assertions only (no timing bar; 
 
 bench-paper-scale: ## benchmarks at the paper's full corpus scale (slow)
 	$(PYTHON) -m pytest benchmarks -q -s --paper-scale
+
+fuzz:            ## at-scale differential fuzz: 10k queries, 12-table snowflake, 120k rows (slow, ~15-20 min)
+	REPRO_FUZZ_QUERIES=10000 REPRO_FUZZ_ROWS=120000 REPRO_FUZZ_TABLES=12 \
+	REPRO_FUZZ_TOPOLOGY=snowflake REPRO_FUZZ_JOIN_COST=2000000 \
+	$(PYTHON) -m pytest benchmarks/test_fuzz_differential.py -q -s -m fuzz
+
+fuzz-check:      ## CI smoke fuzz: 2k queries over a 30k-row star schema (~2 min)
+	REPRO_FUZZ_QUERIES=2000 REPRO_FUZZ_ROWS=30000 \
+	$(PYTHON) -m pytest benchmarks/test_fuzz_differential.py -q -s -m fuzz
 
 quickstart:      ## end-to-end example: corpus -> GRED -> rendered chart
 	$(PYTHON) examples/quickstart.py

@@ -84,28 +84,74 @@ _SEMANTIC_NUMBER_RANGES: Dict[str, tuple] = {
 
 
 class DataGenerator:
-    """Populate a :class:`DatabaseSchema` with deterministic synthetic rows."""
+    """Populate a :class:`DatabaseSchema` with deterministic synthetic rows.
 
-    def __init__(self, seed: int = 0, rows_per_table: int = 40):
+    Args:
+        seed: base RNG seed; combined with the schema name so every database
+            gets an independent, reproducible stream.
+        rows_per_table: default row count per table.
+        null_fraction: when > 0, this fraction of non-key values is nulled
+            out after generation (primary-key and foreign-key columns stay
+            intact so join keys remain inside the portable subset).
+        skew: when > 0, text values and foreign-key references are drawn
+            from a power-law over their pools instead of uniformly — higher
+            values concentrate mass on the first pool entries, producing the
+            hot-key distributions selective predicates and joins care about.
+        correlated: when True, every numeric value in a row is pulled toward
+            the row's first numeric draw, so columns like price/budget move
+            together instead of being independent noise.
+
+    The default configuration (``null_fraction=0, skew=0,
+    correlated=False``) consumes exactly the historical RNG sequence, so
+    seeded databases generated before these knobs existed are bit-identical.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rows_per_table: int = 40,
+        null_fraction: float = 0.0,
+        skew: float = 0.0,
+        correlated: bool = False,
+    ):
         self.seed = seed
         self.rows_per_table = rows_per_table
+        self.null_fraction = null_fraction
+        self.skew = skew
+        self.correlated = correlated
 
-    def populate(self, schema: DatabaseSchema, rows_per_table: Optional[int] = None) -> Database:
-        """Return a populated :class:`Database` for ``schema``."""
+    def populate(
+        self,
+        schema: DatabaseSchema,
+        rows_per_table: Optional[int] = None,
+        rows_by_table: Optional[Dict[str, int]] = None,
+    ) -> Database:
+        """Return a populated :class:`Database` for ``schema``.
+
+        ``rows_by_table`` overrides the row count for individual tables
+        (case-insensitive names) — the hook tiered star schemas use to give
+        fact tables orders of magnitude more rows than their dimensions.
+        """
         rows_per_table = rows_per_table or self.rows_per_table
+        overrides = {
+            name.lower(): count for name, count in (rows_by_table or {}).items()
+        }
         rng = random.Random(f"{self.seed}:{schema.name}")
         database = Database(schema)
         primary_keys: Dict[str, List[object]] = {}
         for table_schema in schema.tables:
+            count = overrides.get(table_schema.name.lower(), rows_per_table)
             rows = [
                 self._generate_row(table_schema, row_index, rng, schema, primary_keys)
-                for row_index in range(rows_per_table)
+                for row_index in range(count)
             ]
             database.table(table_schema.name).extend(rows)
             primary = table_schema.primary_key
             if primary is not None:
                 primary_keys[table_schema.name] = [row[primary.name] for row in rows]
         self._apply_foreign_keys(database, rng, primary_keys)
+        if self.null_fraction > 0:
+            self._inject_nulls(database, rng)
         return database
 
     def _generate_row(
@@ -117,16 +163,29 @@ class DataGenerator:
         primary_keys: Dict[str, List[object]],
     ) -> Dict[str, object]:
         row: Dict[str, object] = {}
+        row_state: Dict[str, float] = {}
         for column in table_schema.columns:
-            row[column.name] = self._generate_value(column, row_index, rng)
+            row[column.name] = self._generate_value(column, row_index, rng, row_state)
         return row
 
-    def _generate_value(self, column: Column, row_index: int, rng: random.Random) -> object:
+    def _generate_value(
+        self,
+        column: Column,
+        row_index: int,
+        rng: random.Random,
+        row_state: Optional[Dict[str, float]] = None,
+    ) -> object:
         if column.is_primary:
             return row_index + 1
         semantic = column.semantic or column.name.lower()
         if column.ctype is ColumnType.NUMBER:
             low, high = self._number_range(semantic)
+            if self.correlated and row_state is not None:
+                fraction = rng.random()
+                base = row_state.setdefault("numeric_base", fraction)
+                if base is not fraction:
+                    fraction = 0.5 * base + 0.5 * fraction
+                return low + round((high - low) * fraction)
             return rng.randint(low, high)
         if column.ctype is ColumnType.DATE:
             year = rng.randint(1995, 2023)
@@ -136,7 +195,28 @@ class DataGenerator:
         if column.ctype is ColumnType.BOOLEAN:
             return rng.random() < 0.5
         pool = self._text_pool(semantic)
+        if self.skew > 0:
+            return pool[self._skewed_index(rng, len(pool))]
         return rng.choice(pool)
+
+    def _skewed_index(self, rng: random.Random, size: int) -> int:
+        """A power-law index into a pool: mass concentrates on low indices."""
+        return min(int(size * (rng.random() ** (1.0 + 3.0 * self.skew))), size - 1)
+
+    def _inject_nulls(self, database: Database, rng: random.Random) -> None:
+        """Null out ``null_fraction`` of values outside key columns."""
+        protected = set()
+        for foreign_key in database.schema.foreign_keys:
+            protected.add((foreign_key.table.lower(), foreign_key.column.lower()))
+            protected.add((foreign_key.ref_table.lower(), foreign_key.ref_column.lower()))
+        for table in database.tables():
+            for column in table.schema.columns:
+                key = (table.name.lower(), column.name.lower())
+                if column.is_primary or key in protected:
+                    continue
+                for row in table.rows:
+                    if rng.random() < self.null_fraction:
+                        row[column.name] = None
 
     def _number_range(self, semantic: str) -> tuple:
         for key, value_range in _SEMANTIC_NUMBER_RANGES.items():
@@ -168,4 +248,7 @@ class DataGenerator:
                 continue
             canonical = table.canonical_column(foreign_key.column)
             for row in table.rows:
-                row[canonical] = rng.choice(referenced)
+                if self.skew > 0:
+                    row[canonical] = referenced[self._skewed_index(rng, len(referenced))]
+                else:
+                    row[canonical] = rng.choice(referenced)

@@ -75,6 +75,15 @@ class RandomDVQGenerator:
         where_probability: chance of attaching a WHERE clause.
         order_probability: chance of attaching an ORDER BY clause.
         limit_probability: chance of attaching a LIMIT (top-k) clause.
+        portable_subset: when True (the default) every query stays inside the
+            portable subset and executes cleanly on every backend.  When
+            False, a ``corruption_probability`` fraction of queries is
+            deliberately broken with known-unsupported constructs (missing
+            tables / columns) so differential fuzzing can assert that every
+            engine rejects them under the *same*
+            :class:`~repro.executor.backend.ExecutionOutcome` category.
+        corruption_probability: fraction of queries corrupted when
+            ``portable_subset`` is off.
     """
 
     def __init__(
@@ -84,12 +93,16 @@ class RandomDVQGenerator:
         where_probability: float = 0.6,
         order_probability: float = 0.5,
         limit_probability: float = 0.25,
+        portable_subset: bool = True,
+        corruption_probability: float = 0.15,
     ):
         self._rng = random.Random(seed)
         self.join_probability = join_probability
         self.where_probability = where_probability
         self.order_probability = order_probability
         self.limit_probability = limit_probability
+        self.portable_subset = portable_subset
+        self.corruption_probability = corruption_probability
 
     # -- public API ---------------------------------------------------------
 
@@ -100,10 +113,12 @@ class RandomDVQGenerator:
         shape = rng.random()
         if shape < 0.2:
             query = self._flat_query(rng, database, table, alias, joins, columns, qualify_probability)
-        elif shape < 0.45 and self._binnable(columns):
+        elif shape < 0.45 and self._binnable(database, columns):
             query = self._binned_query(rng, database, table, alias, joins, columns, qualify_probability)
         else:
             query = self._aggregate_query(rng, database, table, alias, joins, columns, qualify_probability)
+        if not self.portable_subset and rng.random() < self.corruption_probability:
+            query = self._corrupt(rng, query)
         return query
 
     def generate_many(self, database: Database, count: int) -> List[DVQuery]:
@@ -156,7 +171,7 @@ class RandomDVQGenerator:
     # -- query shapes -------------------------------------------------------
 
     def _aggregate_query(self, rng, database, table, alias, joins, columns, qualify_probability) -> DVQuery:
-        x_pool = [c for c in columns if c.column.ctype in (ColumnType.TEXT, ColumnType.BOOLEAN)]
+        x_pool = self._group_key_pool(database, columns)
         x_pool = x_pool or columns
         x = rng.choice(x_pool)
         x_ref = x.ref(rng, qualify_probability)
@@ -181,8 +196,7 @@ class RandomDVQGenerator:
         )
 
     def _binned_query(self, rng, database, table, alias, joins, columns, qualify_probability) -> DVQuery:
-        date_cols = [c for c in columns if c.column.ctype is ColumnType.DATE]
-        number_cols = [c for c in columns if c.column.ctype is ColumnType.NUMBER]
+        date_cols, number_cols = self._bin_candidates(database, columns)
         if date_cols and (not number_cols or rng.random() < 0.6):
             target = rng.choice(date_cols)
             unit = rng.choice((BinUnit.YEAR, BinUnit.MONTH, BinUnit.WEEKDAY))
@@ -278,11 +292,7 @@ class RandomDVQGenerator:
     def _condition(self, rng, database, columns, qualify_probability) -> Optional[Condition]:
         scoped = rng.choice(columns)
         ref = scoped.ref(rng, qualify_probability)
-        values = [
-            value
-            for value in database.table(scoped.table_name).column_values(scoped.column.name)
-            if value is not None
-        ]
+        values = self._literal_pool(database, scoped)
         ctype = scoped.column.ctype
         if not values:
             return Condition(column=ref, operator="IS NULL", negated=rng.random() < 0.5)
@@ -365,9 +375,58 @@ class RandomDVQGenerator:
             picked.append(None)
         return tuple(picked)
 
+    # -- subclass hooks -----------------------------------------------------
+    #
+    # :class:`repro.workload.generator.WorkloadGenerator` overrides these to
+    # drive choices from collected table statistics instead of raw scans.
+
+    def _literal_pool(self, database: Database, scoped: _ScopedColumn) -> List[object]:
+        """Non-null literals predicates on ``scoped`` may compare against."""
+        return [
+            value
+            for value in database.table(scoped.table_name).column_values(scoped.column.name)
+            if value is not None
+        ]
+
+    def _group_key_pool(
+        self, database: Database, columns: Sequence[_ScopedColumn]
+    ) -> List[_ScopedColumn]:
+        """Columns suitable as a grouping key (low-cardinality by type here)."""
+        return [c for c in columns if c.column.ctype in (ColumnType.TEXT, ColumnType.BOOLEAN)]
+
+    def _bin_candidates(
+        self, database: Database, columns: Sequence[_ScopedColumn]
+    ) -> Tuple[List[_ScopedColumn], List[_ScopedColumn]]:
+        """(date columns, number columns) eligible as BIN targets."""
+        date_cols = [c for c in columns if c.column.ctype is ColumnType.DATE]
+        number_cols = [c for c in columns if c.column.ctype is ColumnType.NUMBER]
+        return date_cols, number_cols
+
     # -- helpers ------------------------------------------------------------
 
-    def _binnable(self, columns: Sequence[_ScopedColumn]) -> bool:
-        return any(
-            c.column.ctype in (ColumnType.DATE, ColumnType.NUMBER) for c in columns
+    def _binnable(self, database: Database, columns: Sequence[_ScopedColumn]) -> bool:
+        date_cols, number_cols = self._bin_candidates(database, columns)
+        return bool(date_cols or number_cols)
+
+    def _corrupt(self, rng: random.Random, query: DVQuery) -> DVQuery:
+        """Break a query with a construct every backend must reject alike.
+
+        Only *schema-level* corruptions are generated (missing table, missing
+        column): they parse, fail on every engine, and classify to the same
+        ``missing_table`` / ``missing_column`` outcome category — the
+        contract non-portable fuzz mode asserts.
+        """
+        if rng.random() < 0.5:
+            return query.replace(table=f"fuzz_missing_table_{rng.randint(0, 999)}")
+        condition = Condition(
+            column=ColumnRef(column=f"FUZZ_MISSING_COL_{rng.randint(0, 999)}"),
+            operator="IS NULL",
         )
+        if query.where is None:
+            where = WhereClause(conditions=(condition,), connectors=())
+        else:
+            where = WhereClause(
+                conditions=query.where.conditions + (condition,),
+                connectors=query.where.connectors + ("AND",),
+            )
+        return query.replace(where=where)

@@ -184,6 +184,83 @@ class DVQExecutor:
         aliases: Dict[str, str],
         maps: Dict[str, Dict[str, str]],
     ) -> List[_RowContext]:
+        """Hash-based equi-join of the accumulated contexts with a new table.
+
+        Key resolution mirrors the historical nested-loop join: the probe key
+        is whichever ON side resolves against the already-joined relation, the
+        build key is matched by bare column name in the new table (falling
+        back to the probe key's own name), and when neither resolves the join
+        is empty.  Resolution is structural — identical for every context — so
+        it is decided once, the new table is hashed on its key, and each
+        context probes the hash; output order (context order, then right-row
+        order) and match semantics (plain ``==``) are exactly those of the
+        nested loop, which :meth:`_join_nested` preserves as the fallback for
+        unhashable key values.
+        """
+        right_map = maps[right_name]
+        if not contexts:
+            return []
+        for context in contexts:
+            context.aliases = aliases
+        probe = contexts[0]
+        try:
+            probe.lookup(left_key)
+            use_left_on_context = True
+        except ExecutionError:
+            use_left_on_context = False
+        if use_left_on_context:
+            build_name = right_map.get(right_key.column.lower()) or right_map.get(
+                left_key.column.lower()
+            )
+            probe_key = left_key
+        else:
+            # the "left" side of the ON clause actually names the new table
+            build_name = right_map.get(left_key.column.lower())
+            probe_key = right_key
+        if build_name is None:
+            return []
+        try:
+            buckets: Dict[object, List[Dict[str, object]]] = {}
+            for row in right_rows:
+                value = row[build_name]
+                bucket = buckets.get(value)
+                if bucket is None:
+                    buckets[value] = [row]
+                else:
+                    bucket.append(row)
+        except TypeError:  # unhashable key value: fall back to the O(n*m) scan
+            return self._join_nested(
+                contexts, right_rows, right_name, left_key, right_key, aliases, maps
+            )
+        joined: List[_RowContext] = []
+        for context in contexts:
+            try:
+                left_value = context.lookup(probe_key)
+            except ExecutionError:
+                continue
+            try:
+                matches = buckets.get(left_value)
+            except TypeError:
+                matches = [
+                    row for row in right_rows if left_value == row[build_name]
+                ]
+            for row in matches or ():
+                parts = dict(context.parts)
+                parts[right_name] = row
+                joined.append(_RowContext(parts, aliases, maps))
+        return joined
+
+    def _join_nested(
+        self,
+        contexts: List[_RowContext],
+        right_rows: Sequence[Dict[str, object]],
+        right_name: str,
+        left_key: ColumnRef,
+        right_key: ColumnRef,
+        aliases: Dict[str, str],
+        maps: Dict[str, Dict[str, str]],
+    ) -> List[_RowContext]:
+        """The historical nested-loop join (kept for unhashable key values)."""
         right_map = maps[right_name]
         joined: List[_RowContext] = []
         for context in contexts:
@@ -203,7 +280,6 @@ class DVQExecutor:
                         except KeyError:
                             continue
                 else:
-                    # the "left" side of the ON clause actually names the new table
                     try:
                         right_value = _lookup_in_row(row, left_key.column, right_map)
                         left_value = context.lookup(right_key)

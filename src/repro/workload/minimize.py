@@ -1,0 +1,429 @@
+"""Delta-debugging minimization of failing differential queries.
+
+When the fuzzer finds a query two engines disagree on, the raw reproducer is
+usually a three-table join with compound predicates, binning and a top-k cut
+— far more structure than the bug needs.  :func:`minimize_query` shrinks the
+DVQ AST greedily to a fixpoint: every reduction pass proposes structurally
+smaller candidates (drop the LIMIT, drop a join and everything that depended
+on it, drop WHERE conditions one at a time, shrink IN lists and BETWEEN
+ranges to equalities, collapse the aggregate to ``COUNT(*)``, ...) and a
+candidate is accepted only when the *oracle* — "do the engines still
+disagree?" — holds.  The result is the smallest query (by clause count, then
+serialized length) the passes can reach that still reproduces the mismatch.
+
+The oracle is a plain callable, so tests can minimize against injected bugs
+and the fuzzer minimizes against real engine disagreement with the same
+machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.database.database import Database
+from repro.dvq import parse_dvq, serialize_dvq
+from repro.dvq.nodes import (
+    AggregateExpr,
+    AggregateFunction,
+    ChartType,
+    ColumnRef,
+    Condition,
+    DVQuery,
+    OrderClause,
+    WhereClause,
+)
+from repro.executor.backend import ExecutionOutcome, classify_failure
+from repro.executor.errors import ExecutionError
+
+#: An oracle maps a candidate query to "still reproduces the failure".
+Oracle = Callable[[DVQuery], bool]
+
+
+def clause_count(query: DVQuery) -> int:
+    """Number of optional clauses — the minimizer's primary size metric.
+
+    Counts joins, WHERE conditions, ORDER BY, BIN, LIMIT and the colour
+    channel; the mandatory two-channel SELECT core is free, so a minimal
+    single-predicate reproducer has ``clause_count == 1``.
+    """
+    count = len(query.joins)
+    if query.where is not None:
+        count += len(query.where.conditions)
+    if query.order_by is not None:
+        count += 1
+    if query.bin is not None:
+        count += 1
+    if query.limit is not None:
+        count += 1
+    if len(query.select) > 2:
+        count += len(query.select) - 2
+    return count
+
+
+def _size(query: DVQuery) -> Tuple[int, int]:
+    return (clause_count(query), len(serialize_dvq(query)))
+
+
+def _fixed_chart(query: DVQuery, select_count: int) -> ChartType:
+    """A chart type whose channel count matches ``select_count``."""
+    if select_count >= 3:
+        return query.chart_type if query.chart_type.is_grouped else ChartType.STACKED_BAR
+    return query.chart_type if not query.chart_type.is_grouped else ChartType.BAR
+
+
+def _prune_order(query: DVQuery) -> Optional[OrderClause]:
+    """Drop ORDER BY when its target is no longer a selected expression."""
+    if query.order_by is None:
+        return None
+    if any(item.expr == query.order_by.expr for item in query.select):
+        return query.order_by
+    return None
+
+
+def _rebuild_where(
+    where: WhereClause, keep: Sequence[int]
+) -> Optional[WhereClause]:
+    """A WhereClause with only the conditions at ``keep`` (original order).
+
+    Each surviving non-first condition keeps the connector that preceded it
+    in the original clause, preserving AND/OR structure as far as a flat
+    connector list allows.
+    """
+    if not keep:
+        return None
+    conditions = tuple(where.conditions[index] for index in keep)
+    connectors = tuple(where.connectors[index - 1] for index in keep[1:])
+    return WhereClause(conditions=conditions, connectors=connectors)
+
+
+# -- reduction passes -------------------------------------------------------
+#
+# Each pass yields candidate queries strictly smaller than its input; the
+# driver accepts the first candidate the oracle confirms and restarts.
+
+
+def _drop_whole_clauses(query: DVQuery, database) -> Iterator[DVQuery]:
+    if query.limit is not None:
+        yield query.replace(limit=None)
+    if query.order_by is not None:
+        yield query.replace(order_by=None)
+    if query.where is not None:
+        yield query.replace(where=None)
+    if query.bin is not None:
+        # keep the query grouped: the binned column becomes a plain group key
+        candidate = query.replace(bin=None, group_by=(query.bin.column,))
+        yield candidate
+
+
+def _drop_color_channel(query: DVQuery, database) -> Iterator[DVQuery]:
+    if len(query.select) < 3:
+        return
+    select = tuple(query.select[:2])
+    group_by = tuple(query.group_by[:1]) if query.group_by else ()
+    candidate = query.replace(
+        select=select, group_by=group_by, chart_type=_fixed_chart(query, 2)
+    )
+    yield candidate.replace(order_by=_prune_order(candidate))
+
+
+def _drop_joins(query: DVQuery, database) -> Iterator[DVQuery]:
+    """Drop join suffixes (and single joins with their dependents).
+
+    Everything that referenced a dropped table — select items, group keys,
+    conditions, the bin target, the order target — is stripped; candidates
+    whose SELECT core would fall below two channels are skipped (the oracle
+    would reject them anyway, this is just cheaper).
+    """
+    if not query.joins:
+        return
+    for cut in range(len(query.joins) - 1, -1, -1):
+        kept_joins = tuple(query.joins[:cut])
+        candidate = _without_tables(query, kept_joins, database)
+        if candidate is not None:
+            yield candidate
+
+
+def _without_tables(
+    query: DVQuery, kept_joins: Tuple, database
+) -> Optional[DVQuery]:
+    kept_tables = {query.table.lower()}
+    if query.table_alias:
+        kept_tables.add(query.table_alias.lower())
+    for join in kept_joins:
+        kept_tables.add(join.table.lower())
+        if join.alias:
+            kept_tables.add(join.alias.lower())
+
+    def survives(ref: ColumnRef) -> bool:
+        if ref.column == "*":
+            return True
+        if ref.table:
+            return ref.table.lower() in kept_tables
+        if database is None:
+            return True  # optimistic: the oracle re-validates
+        # unqualified: the column must still resolve in a kept table
+        for name in kept_tables:
+            if database.has_table(name) and database.table(name).has_column(ref.column):
+                return True
+        return False
+
+    def item_survives(item) -> bool:
+        if isinstance(item.expr, AggregateExpr):
+            return survives(item.expr.argument)
+        return survives(item.expr)
+
+    select = tuple(item for item in query.select if item_survives(item))
+    if len(select) < 2:
+        return None
+    group_by = tuple(ref for ref in query.group_by if survives(ref))
+    where = query.where
+    if where is not None:
+        keep = [
+            index
+            for index, condition in enumerate(where.conditions)
+            if survives(condition.column)
+        ]
+        where = _rebuild_where(where, keep)
+    bin_clause = query.bin if query.bin is None or survives(query.bin.column) else None
+    candidate = query.replace(
+        joins=kept_joins,
+        select=select,
+        group_by=group_by,
+        where=where,
+        bin=bin_clause,
+        chart_type=_fixed_chart(query, len(select)),
+    )
+    return candidate.replace(order_by=_prune_order(candidate))
+
+
+def _reroot_joins(query: DVQuery, database) -> Iterator[DVQuery]:
+    """Make a joined table the FROM table and drop the join entirely.
+
+    Useful when the failure lives in the joined table's columns: dropping the
+    join normally would drop those references too, but re-rooting keeps them
+    while still removing a whole join (and the original FROM table).
+    """
+    if len(query.joins) != 1 or database is None:
+        return
+    join = query.joins[0]
+    rerooted = query.replace(table=join.table, table_alias=None, joins=())
+    candidate = _without_tables(rerooted, (), database)
+    if candidate is not None:
+        yield candidate
+
+
+def _shrink_where(query: DVQuery, database) -> Iterator[DVQuery]:
+    where = query.where
+    if where is None or len(where.conditions) < 2:
+        return
+    total = len(where.conditions)
+    # halves first (classic ddmin step), then single-condition drops
+    half = total // 2
+    for keep in ([*range(half)], [*range(half, total)]):
+        yield query.replace(where=_rebuild_where(where, keep))
+    for drop in range(total):
+        keep = [index for index in range(total) if index != drop]
+        yield query.replace(where=_rebuild_where(where, keep))
+
+
+def _shrink_literals(query: DVQuery, database) -> Iterator[DVQuery]:
+    where = query.where
+    if where is None:
+        return
+    for index, condition in enumerate(where.conditions):
+        for smaller in _shrink_condition(condition):
+            conditions = tuple(
+                smaller if position == index else original
+                for position, original in enumerate(where.conditions)
+            )
+            yield query.replace(
+                where=WhereClause(conditions=conditions, connectors=where.connectors)
+            )
+
+
+def _shrink_condition(condition: Condition) -> Iterator[Condition]:
+    operator = condition.operator.upper()
+    if condition.negated:
+        yield Condition(
+            column=condition.column,
+            operator=condition.operator,
+            value=condition.value,
+            value2=condition.value2,
+            negated=False,
+        )
+    if operator == "IN" and isinstance(condition.value, tuple):
+        if len(condition.value) > 1:
+            yield Condition(
+                column=condition.column,
+                operator="IN",
+                value=condition.value[:1],
+                negated=condition.negated,
+            )
+        elif not condition.negated and condition.value and condition.value[0] is not None:
+            yield Condition(column=condition.column, operator="=", value=condition.value[0])
+    if operator == "BETWEEN":
+        yield Condition(column=condition.column, operator="=", value=condition.value)
+        yield Condition(column=condition.column, operator=">=", value=condition.value)
+
+
+def _simplify_select(query: DVQuery, database) -> Iterator[DVQuery]:
+    star_count = AggregateExpr(function=AggregateFunction.COUNT, argument=ColumnRef(column="*"))
+    for index, item in enumerate(query.select):
+        if not isinstance(item.expr, AggregateExpr):
+            continue
+        expr = item.expr
+        if expr.distinct:
+            yield _replace_select(query, index, AggregateExpr(expr.function, expr.argument))
+        if expr != star_count:
+            yield _replace_select(query, index, star_count)
+
+
+def _replace_select(query: DVQuery, index: int, expr) -> DVQuery:
+    from dataclasses import replace as dataclass_replace
+
+    from repro.dvq.nodes import SelectItem
+
+    select = tuple(
+        SelectItem(expr) if position == index else item
+        for position, item in enumerate(query.select)
+    )
+    old = query.select[index].expr
+    candidate = query.replace(select=select)
+    if query.order_by is not None and query.order_by.expr == old:
+        candidate = candidate.replace(
+            order_by=dataclass_replace(query.order_by, expr=expr)
+        )
+    return candidate.replace(order_by=_prune_order(candidate))
+
+
+_PASSES = (
+    _drop_joins,
+    _reroot_joins,
+    _drop_whole_clauses,
+    _drop_color_channel,
+    _shrink_where,
+    _simplify_select,
+    _shrink_literals,
+)
+
+
+def minimize_query(
+    query: DVQuery, oracle: Oracle, database: Optional[Database] = None
+) -> DVQuery:
+    """Greedily shrink ``query`` while ``oracle`` keeps confirming the failure.
+
+    Runs the reduction passes to a fixpoint: whenever a strictly smaller
+    candidate still satisfies the oracle it becomes the new current query and
+    the passes restart.  Deterministic — no randomness is involved — so the
+    same (query, oracle) pair always minimizes to the same reproducer.
+    ``database`` (optional) lets the join-dropping pass resolve unqualified
+    column references precisely.
+    """
+    if not oracle(query):
+        raise ValueError("oracle rejects the original query; nothing to minimize")
+    current = query
+    current_size = _size(current)
+    improved = True
+    while improved:
+        improved = False
+        for reduction in _PASSES:
+            for candidate in reduction(current, database):
+                if candidate is None or _size(candidate) >= current_size:
+                    continue
+                try:
+                    confirmed = oracle(candidate)
+                except Exception:
+                    confirmed = False
+                if confirmed:
+                    current = candidate
+                    current_size = _size(current)
+                    improved = True
+                    break
+            if improved:
+                break
+    return current
+
+
+# -- differential oracle ----------------------------------------------------
+
+
+def _attempt(engine, query: DVQuery, database: Database):
+    """(outcome, result) for one engine; never raises for engine failures."""
+    try:
+        result = engine.execute(query, database)
+    except ExecutionError as error:
+        return classify_failure(error), None
+    return ExecutionOutcome(), result
+
+
+def execution_mismatch(
+    query: DVQuery, database: Database, reference, engine
+) -> Optional[str]:
+    """How ``engine`` disagrees with ``reference`` on ``query`` (None = agree).
+
+    The same agreement predicate the fuzz harness asserts: outcome category
+    and missing identifiers must match; for successful executions columns,
+    chart type and normalised rows must be identical.
+    """
+    left_outcome, left_result = _attempt(reference, query, database)
+    return compare_to_reference(left_outcome, left_result, query, database, engine)
+
+
+def compare_to_reference(
+    left_outcome: ExecutionOutcome,
+    left_result,
+    query: DVQuery,
+    database: Database,
+    engine,
+) -> Optional[str]:
+    """Like :func:`execution_mismatch` with the reference side precomputed.
+
+    The fuzzer compares several engines against one reference execution per
+    query; reusing the reference outcome keeps the (slowest) interpreter at
+    one run per query instead of one per engine.
+    """
+    right_outcome, right_result = _attempt(engine, query, database)
+    if left_outcome.category != right_outcome.category:
+        return f"category: {left_outcome.category} != {right_outcome.category}"
+    if left_outcome.missing != right_outcome.missing:
+        return (
+            f"missing identifiers: {left_outcome.missing} != {right_outcome.missing}"
+        )
+    if not left_outcome.ok:
+        return None
+    if left_result.columns != right_result.columns:
+        return "columns"
+    if left_result.chart_type != right_result.chart_type:
+        return "chart_type"
+    if left_result.rows != right_result.rows:
+        return "rows"
+    return None
+
+
+class MismatchOracle:
+    """Oracle: the candidate still round-trips and still mismatches.
+
+    A candidate must survive serialize → parse unchanged (so the printed
+    reproducer is paste-ready) and the two engines must still disagree — any
+    disagreement kind counts, which lets the minimizer move between e.g. a
+    row mismatch and a category mismatch if shrinking exposes a simpler
+    manifestation of the same bug.
+    """
+
+    def __init__(self, database: Database, reference, engine):
+        self.database = database
+        self.reference = reference
+        self.engine = engine
+
+    def __call__(self, query: DVQuery) -> bool:
+        try:
+            text = serialize_dvq(query)
+            parsed = parse_dvq(text)
+            if serialize_dvq(parsed) != text:
+                return False
+        except Exception:
+            return False
+        return (
+            execution_mismatch(parsed, self.database, self.reference, self.engine)
+            is not None
+        )

@@ -91,6 +91,73 @@ def test_normalize_is_idempotent_on_arbitrary_text(text):
     assert normalize_dvq_text(normalized) == normalized
 
 
+# -- fuzzer-generated queries (statistics-driven WorkloadGenerator) ----------
+
+
+@pytest.fixture(scope="module")
+def workload_database():
+    from repro.workload import SchemaGraphConfig, build_workload_database
+
+    return build_workload_database(
+        SchemaGraphConfig(seed=31, table_count=6, topology="snowflake",
+                          name="roundtrip_workload"),
+        total_rows=1_200,
+    )
+
+
+def _workload_generator(seed):
+    from repro.workload import WorkloadGenerator
+
+    return WorkloadGenerator(seed=seed, max_joins=3, join_probability=0.7)
+
+
+@settings(max_examples=100, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_workload_queries_roundtrip(seed, workload_database):
+    """serialize -> parse is a fixed point for fuzzer-generated queries too."""
+    query = _workload_generator(seed).generate(workload_database)
+    text = serialize_dvq(query)
+    assert serialize_dvq(parse_dvq(text)) == text
+
+
+@settings(max_examples=100, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_workload_normalize_is_idempotent(seed, workload_database):
+    """serialize -> parse -> normalize idempotence on fuzzer-generated queries."""
+    text = serialize_dvq(_workload_generator(seed).generate(workload_database))
+    normalized = normalize_dvq_text(serialize_dvq(parse_dvq(text)))
+    assert normalize_dvq_text(normalized) == normalized
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_non_portable_queries_still_roundtrip(seed, workload_database):
+    """Corrupted (known-rejected) fuzz queries remain parse/serialize clean."""
+    from repro.workload import WorkloadGenerator
+
+    generator = WorkloadGenerator(
+        seed=seed, portable_subset=False, corruption_probability=0.6
+    )
+    text = serialize_dvq(generator.generate(workload_database))
+    reparsed = parse_dvq(text)
+    assert serialize_dvq(reparsed) == text
+    assert extract_components(reparsed) == extract_components(parse_dvq(text))
+
+
+def test_generator_surface_covers_limit_bins_and_three_channels(workload_database):
+    """The strategies genuinely exercise LIMIT, every bin unit family and
+    3-channel charts — the surface the fuzzer leans on."""
+    queries = [
+        _workload_generator(seed).generate(workload_database) for seed in range(400)
+    ]
+    assert sum(1 for q in queries if q.limit is not None) >= 25
+    assert sum(1 for q in queries if len(q.select) == 3) >= 10
+    units = {q.bin.unit for q in queries if q.bin is not None}
+    assert len(units) >= 3
+    charts = {q.chart_type for q in queries}
+    assert len(charts) >= 6
+
+
 class TestLimitClause:
     """Parsing and serialization of the new LIMIT (top-k) clause."""
 

@@ -154,8 +154,12 @@ _CASES = [
     pytest.param(_events_schema, 22, 3, 70, id="events"),
 ]
 
-#: Total queries across the suite — the acceptance bar is >= 200.
-TOTAL_QUERIES = 80 + 70 + 70
+#: Queries generated over the synthetic workload schema graph (statistics
+#: driven, multi-join) on top of the fixed-schema cases above.
+_WORKLOAD_QUERIES = 780
+
+#: Total queries across the suite — the acceptance bar is >= 1000.
+TOTAL_QUERIES = 80 + 70 + 70 + _WORKLOAD_QUERIES
 
 
 # built once per pytest run: the agreement tests and the coverage test share
@@ -204,7 +208,75 @@ def test_backends_agree_on_generated_queries(
 
 
 def test_suite_meets_query_budget():
-    assert TOTAL_QUERIES >= 200
+    assert TOTAL_QUERIES >= 1000
+
+
+# -- workload-generator corpus: synthetic schema graph, multi-join walks -----
+
+
+@functools.lru_cache(maxsize=None)
+def _workload_database():
+    from repro.workload import SchemaGraphConfig, build_workload_database
+
+    return build_workload_database(
+        SchemaGraphConfig(seed=29, table_count=7, topology="snowflake",
+                          name="workload_diff"),
+        total_rows=900,
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def _workload_corpus():
+    from repro.workload import WorkloadGenerator
+
+    generator = WorkloadGenerator(seed=17, max_joins=3, join_probability=0.5,
+                                  max_join_cost=400_000)
+    return tuple(generator.generate_many(_workload_database(), _WORKLOAD_QUERIES))
+
+
+@pytest.mark.parametrize("engine_factory", _engine_params())
+def test_backends_agree_on_workload_corpus(engine_factory):
+    """The statistics-driven corpus: 780 queries per engine via BatchRunner.
+
+    The thread pool keeps the tripled corpus inside the prior CI budget —
+    the SQLite engine releases the GIL, so its comparisons overlap the pure
+    Python reference executions.
+    """
+    from repro.runtime.runner import BatchRunner
+
+    database = _workload_database()
+    interpreter = InterpreterBackend()
+    engine = engine_factory()
+
+    def check(query):
+        text = serialize_dvq(query)
+        parsed = parse_dvq(text)
+        assert serialize_dvq(parsed) == text
+        expected = interpreter.execute(parsed, database)
+        actual = engine.execute(parsed, database)
+        assert actual.columns == expected.columns, f"columns differ for {text!r}"
+        assert actual.chart_type == expected.chart_type
+        assert actual.rows == expected.rows, (
+            f"rows differ for {text!r}\n"
+            f"  interpreter: {expected.rows[:8]}\n  {engine.name}: {actual.rows[:8]}"
+        )
+
+    report = BatchRunner(max_workers=2).run(_workload_corpus(), check)
+    failures = report.failures()
+    assert not failures, f"{len(failures)} disagreements; first: {failures[0].error}"
+
+
+def test_workload_corpus_covers_multi_joins_and_scale():
+    queries = _workload_corpus()
+    assert len(queries) == _WORKLOAD_QUERIES
+    assert sum(1 for q in queries if len(q.joins) >= 2) >= 20
+    assert sum(1 for q in queries if q.joins) >= 150
+    assert sum(1 for q in queries if q.where is not None) >= 300
+    # every reference in a multi-table scope is qualified (no ambiguity)
+    for query in queries:
+        if query.joins:
+            for ref in query.referenced_columns():
+                assert ref.table or ref.column == "*", serialize_dvq(query)
 
 
 def test_generated_corpus_covers_the_feature_matrix():
@@ -214,6 +286,7 @@ def test_generated_corpus_covers_the_feature_matrix():
         schema_builder, data_seed, generator_seed, count = param.values
         database = _build_database(schema_builder, data_seed)
         queries.extend(_generate_corpus(database, generator_seed, count))
+    queries.extend(_workload_corpus())
     assert len(queries) == TOTAL_QUERIES
     chart_types = {query.chart_type for query in queries}
     assert len(chart_types) >= 5

@@ -1,0 +1,168 @@
+"""Fuzz-harness and minimizer tests, including injected-bug regressions.
+
+The minimizer regression tests monkeypatch
+``repro.executor.columnar.evaluate_condition`` — the columnar engine's
+module-level import binding — so only the columnar backends misbehave while
+the interpreter oracle stays correct.  Every injected mismatch must shrink
+to a <= 3-clause reproducer, deterministically per seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.executor.columnar as columnar_module
+from repro.dvq import parse_dvq, serialize_dvq
+from repro.dvq.nodes import Condition
+from repro.executor import ColumnarBackend, InterpreterBackend
+from repro.workload import (
+    DifferentialFuzzer,
+    MismatchOracle,
+    SchemaGraphConfig,
+    WorkloadGenerator,
+    build_workload_database,
+    clause_count,
+    execution_mismatch,
+    fuzz_database,
+    minimize_query,
+)
+
+
+@pytest.fixture(scope="module")
+def database():
+    return build_workload_database(
+        SchemaGraphConfig(seed=7, table_count=8, topology="star", name="fuzz_db"),
+        total_rows=3_000,
+    )
+
+
+@pytest.fixture
+def broken_less_than(monkeypatch):
+    """Make the columnar engines treat ``<`` as ``<=`` (interpreter unaffected)."""
+    real = columnar_module.evaluate_condition
+
+    def buggy(condition, value, *args, **kwargs):
+        if condition.operator == "<":
+            condition = Condition(
+                column=condition.column,
+                operator="<=",
+                value=condition.value,
+                value2=condition.value2,
+                negated=condition.negated,
+            )
+        return real(condition, value, *args, **kwargs)
+
+    monkeypatch.setattr(columnar_module, "evaluate_condition", buggy)
+
+
+class TestCleanSweep:
+    def test_portable_sweep_has_zero_mismatches(self, database):
+        report = fuzz_database(database, count=120, base_seed=0, max_workers=2)
+        assert report.ok, report.summary()
+        assert report.total == 120
+        assert report.category_counts == {"ok": 120}
+        assert report.comparisons == 360
+
+    def test_non_portable_sweep_matches_failure_categories(self, database):
+        report = fuzz_database(
+            database, count=120, base_seed=500, portable_subset=False, max_workers=2
+        )
+        assert report.ok, report.summary()
+        # the corrupted fraction produced non-ok reference outcomes, and every
+        # engine classified them identically (otherwise: mismatches)
+        broken = {
+            category: count
+            for category, count in report.category_counts.items()
+            if category != "ok"
+        }
+        assert broken
+        assert set(broken) <= {"missing_table", "missing_column"}
+
+    def test_failing_index_is_reproducible_from_its_seed(self, database):
+        fuzzer = DifferentialFuzzer(database, base_seed=42)
+        first = serialize_dvq(fuzzer.query_for_seed(42 + 7))
+        again = serialize_dvq(fuzzer.query_for_seed(42 + 7))
+        assert first == again
+        fresh = WorkloadGenerator(seed=42 + 7).generate(database)
+        assert serialize_dvq(fresh) == first
+
+    def test_summary_mentions_scale(self, database):
+        report = fuzz_database(database, count=10, max_workers=1)
+        assert "10 queries" in report.summary()
+        assert "mismatches: 0" in report.summary()
+
+
+class TestInjectedBugRegression:
+    def test_fuzzer_finds_and_minimizes_the_bug(self, database, broken_less_than):
+        report = fuzz_database(database, count=150, base_seed=0, max_workers=1)
+        assert not report.ok
+        assert report.mismatches
+        for mismatch in report.mismatches:
+            assert mismatch.engine in ("columnar", "columnar-noopt")
+            assert mismatch.kind == "rows"
+            minimized = parse_dvq(mismatch.minimized_text)
+            assert clause_count(minimized) <= 3, mismatch.minimized_text
+            # the shrunken reproducer still contains the triggering operator
+            assert minimized.where is not None
+            assert any(
+                condition.operator == "<" for condition in minimized.where.conditions
+            ), mismatch.minimized_text
+
+    def test_minimization_is_deterministic_per_seed(self, database, broken_less_than):
+        first = fuzz_database(database, count=80, base_seed=0, max_workers=1)
+        second = fuzz_database(database, count=80, base_seed=0, max_workers=2)
+        assert [m.seed for m in first.mismatches] == [m.seed for m in second.mismatches]
+        assert [m.minimized_text for m in first.mismatches] == [
+            m.minimized_text for m in second.mismatches
+        ]
+
+    def test_repro_snippet_is_paste_ready(self, database, broken_less_than):
+        report = fuzz_database(database, count=80, base_seed=0, max_workers=1)
+        mismatch = report.mismatches[0]
+        snippet = mismatch.repro_snippet()
+        assert f"generator seed {mismatch.seed}" in snippet
+        assert mismatch.minimized_text in snippet
+        # the embedded parse_dvq(...) literal parses back to the reproducer
+        assert serialize_dvq(parse_dvq(mismatch.minimized_text)) == mismatch.minimized_text
+
+    def test_interpreter_is_unaffected_by_the_columnar_patch(
+        self, database, broken_less_than
+    ):
+        interpreter = InterpreterBackend()
+        for query in WorkloadGenerator(seed=123).generate_many(database, 20):
+            assert interpreter.explain_failure(query, database).ok
+
+
+class TestMinimizeQuery:
+    def test_oracle_must_accept_the_original(self, database):
+        interpreter = InterpreterBackend()
+        query = WorkloadGenerator(seed=1).generate(database)
+        oracle = MismatchOracle(database, interpreter, InterpreterBackend())
+        with pytest.raises(ValueError):
+            minimize_query(query, oracle, database)
+
+    def test_minimizer_reaches_a_fixpoint(self, database, broken_less_than):
+        # find a mismatching query, then check minimize is idempotent
+        engine = ColumnarBackend(optimize=True)
+        interpreter = InterpreterBackend()
+        generator = WorkloadGenerator(seed=0)
+        target = None
+        for query in generator.generate_many(database, 200):
+            if execution_mismatch(query, database, interpreter, engine) is not None:
+                target = query
+                break
+        assert target is not None, "injected bug produced no mismatch in 200 queries"
+        oracle = MismatchOracle(database, interpreter, engine)
+        minimized = minimize_query(target, oracle, database)
+        again = minimize_query(minimized, oracle, database)
+        assert serialize_dvq(again) == serialize_dvq(minimized)
+        assert clause_count(minimized) <= clause_count(target)
+
+    def test_clause_count_metric(self):
+        flat = parse_dvq("Visualize BAR SELECT a , b FROM t")
+        assert clause_count(flat) == 0
+        rich = parse_dvq(
+            "Visualize BAR SELECT a , COUNT(a) FROM t JOIN s ON t.x = s.x "
+            "WHERE a = 1 AND b = 2 GROUP BY a ORDER BY COUNT(a) DESC LIMIT 3"
+        )
+        assert clause_count(rich) == 5  # join + 2 conditions + order + limit
