@@ -9,9 +9,24 @@ size.
 
 from __future__ import annotations
 
+import gc
+
 import pytest
 
 from repro.experiments import Workbench, WorkbenchConfig
+
+
+@pytest.fixture(autouse=True)
+def _collect_before_timing():
+    """Start every benchmark with an empty GC backlog.
+
+    Earlier modules (the fuzz sweep in particular) can leave enough
+    allocation debt that a generational collection fires inside another
+    benchmark's timed window; on a small CI box that alone moves a timing
+    bar.  Collecting up front keeps each measurement self-contained.
+    """
+    gc.collect()
+    yield
 
 
 def pytest_addoption(parser):

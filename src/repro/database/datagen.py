@@ -93,6 +93,9 @@ class DataGenerator:
         null_fraction: when > 0, this fraction of non-key values is nulled
             out after generation (primary-key and foreign-key columns stay
             intact so join keys remain inside the portable subset).
+        fk_null_fraction: when > 0, this fraction of *foreign-key* values is
+            additionally nulled out — the knob the differential fuzzer uses
+            to exercise SQL NULL-join semantics (a NULL key never matches).
         skew: when > 0, text values and foreign-key references are drawn
             from a power-law over their pools instead of uniformly — higher
             values concentrate mass on the first pool entries, producing the
@@ -113,12 +116,14 @@ class DataGenerator:
         null_fraction: float = 0.0,
         skew: float = 0.0,
         correlated: bool = False,
+        fk_null_fraction: float = 0.0,
     ):
         self.seed = seed
         self.rows_per_table = rows_per_table
         self.null_fraction = null_fraction
         self.skew = skew
         self.correlated = correlated
+        self.fk_null_fraction = fk_null_fraction
 
     def populate(
         self,
@@ -152,6 +157,8 @@ class DataGenerator:
         self._apply_foreign_keys(database, rng, primary_keys)
         if self.null_fraction > 0:
             self._inject_nulls(database, rng)
+        if self.fk_null_fraction > 0:
+            self._inject_fk_nulls(database, rng)
         return database
 
     def _generate_row(
@@ -217,6 +224,24 @@ class DataGenerator:
                 for row in table.rows:
                     if rng.random() < self.null_fraction:
                         row[column.name] = None
+
+    def _inject_fk_nulls(self, database: Database, rng: random.Random) -> None:
+        """Null out ``fk_null_fraction`` of foreign-key values.
+
+        Runs after :meth:`_apply_foreign_keys`, so the surviving keys still
+        reference valid primary keys; only this extra pass consumes RNG, so
+        ``fk_null_fraction=0`` keeps every historical stream bit-identical.
+        """
+        for foreign_key in database.schema.foreign_keys:
+            if not database.has_table(foreign_key.table):
+                continue
+            table = database.table(foreign_key.table)
+            if not table.has_column(foreign_key.column):
+                continue
+            canonical = table.canonical_column(foreign_key.column)
+            for row in table.rows:
+                if rng.random() < self.fk_null_fraction:
+                    row[canonical] = None
 
     def _number_range(self, semantic: str) -> tuple:
         for key, value_range in _SEMANTIC_NUMBER_RANGES.items():

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.database.schema import TableSchema
+from repro.database.typed import TypedColumn, build_typed_column
 
 
 class Table:
@@ -20,6 +22,11 @@ class Table:
         self._rows: List[Dict[str, object]] = []
         self._name_map = schema.lower_map()
         self._column_store: Optional[Dict[str, List[object]]] = None
+        self._typed_store: Optional[Dict[str, TypedColumn]] = None
+        # Guards cache build/invalidate: morsel workers sharing one Table can
+        # otherwise race a half-built store against refresh_columns()/insert().
+        # Reentrant because typed_store() builds from column_store() under it.
+        self._store_lock = threading.RLock()
         if rows is not None:
             for row in rows:
                 self.insert(row)
@@ -57,7 +64,9 @@ class Table:
         for key, value in row.items():
             normalized[self.canonical_column(key)] = value
         self._rows.append(normalized)
-        self._column_store = None
+        with self._store_lock:
+            self._column_store = None
+            self._typed_store = None
 
     def extend(self, rows: Iterable[Dict[str, object]]) -> None:
         for row in rows:
@@ -77,19 +86,46 @@ class Table:
         in place (rather than through :meth:`insert`), call
         :meth:`refresh_columns` — the same contract as
         :meth:`repro.sql.SQLiteBackend.refresh`.
+
+        Build and invalidate are serialised by a lock so concurrent readers
+        (e.g. morsel workers on a shared :class:`BatchRunner`) never observe a
+        half-built store; the returned dict is immutable by convention.
         """
         store = self._column_store
         if store is None:
-            store = {
-                column.name: [row[column.name] for row in self._rows]
-                for column in self.schema.columns
-            }
-            self._column_store = store
+            with self._store_lock:
+                store = self._column_store
+                if store is None:
+                    store = {
+                        column.name: [row[column.name] for row in self._rows]
+                        for column in self.schema.columns
+                    }
+                    self._column_store = store
+        return store
+
+    def typed_store(self) -> Dict[str, TypedColumn]:
+        """Typed NumPy view of the table: ``{exact column name: TypedColumn}``.
+
+        The vectorized columnar kernels scan these arrays; per-column dtype
+        inference (number / text / object fallback) happens once here and is
+        cached under the same lock discipline as :meth:`column_store`.
+        :meth:`insert` and :meth:`refresh_columns` invalidate it.
+        """
+        store = self._typed_store
+        if store is None:
+            with self._store_lock:
+                store = self._typed_store
+                if store is None:
+                    lists = self.column_store()
+                    store = {name: build_typed_column(values) for name, values in lists.items()}
+                    self._typed_store = store
         return store
 
     def refresh_columns(self) -> None:
-        """Drop the cached columnar view (call after in-place row mutation)."""
-        self._column_store = None
+        """Drop the cached columnar views (call after in-place row mutation)."""
+        with self._store_lock:
+            self._column_store = None
+            self._typed_store = None
 
     def distinct_values(self, name: str) -> List[object]:
         """Distinct non-null values of a column, preserving first-seen order."""

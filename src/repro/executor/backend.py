@@ -247,6 +247,10 @@ def resolve_backend(spec: BackendSpec, optimize: bool = True) -> ExecutionBacken
         from repro.executor.columnar import ColumnarBackend
 
         return ColumnarBackend(optimize=optimize)
+    if name == "columnar-python":
+        from repro.executor.columnar import ColumnarBackend
+
+        return ColumnarBackend(optimize=optimize, vectorize=False)
     if name == "interpreter":
         return InterpreterBackend()
     if name == "sqlite":
@@ -255,5 +259,5 @@ def resolve_backend(spec: BackendSpec, optimize: bool = True) -> ExecutionBacken
         return SQLiteBackend()
     raise ValueError(
         f"Unknown execution backend {spec!r}; "
-        "expected 'columnar', 'interpreter' or 'sqlite'"
+        "expected 'columnar', 'columnar-python', 'interpreter' or 'sqlite'"
     )

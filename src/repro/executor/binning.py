@@ -1,9 +1,19 @@
-"""Binning of temporal and numeric values for the DVQ ``BIN ... BY ...`` clause."""
+"""Binning of temporal and numeric values for the DVQ ``BIN ... BY ...`` clause.
+
+:func:`bin_value` is the per-value definition; :func:`bin_encode` is the
+vectorized kernel the columnar engine uses on typed columns.  It exploits
+that binning is a pure function of the value: compute :func:`bin_value` once
+per *distinct* value and broadcast the labels back through the unique-inverse
+— O(distinct) scalar work instead of O(rows).
+"""
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
+import numpy as np
+
+from repro.database.typed import KIND_NUMBER, KIND_TEXT, TypedColumn, object_array
 from repro.dvq.nodes import BinUnit
 
 _WEEKDAY_NAMES = [
@@ -77,3 +87,48 @@ def bin_value(value: object, unit: BinUnit, interval: int = 100) -> object:
             return f"[{low}, {low + width})"
         return value
     raise ValueError(f"Unsupported bin unit {unit!r}")
+
+
+def bin_encode(
+    column: TypedColumn, unit: BinUnit, interval: int = 100
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Dictionary-encode the bins of a typed column: ``(labels, codes)``.
+
+    ``codes[i]`` indexes ``labels`` (an object array); code 0 is reserved for
+    NULL rows (``labels[0] is None``), matching ``bin_value(None) -> None``.
+    Distinct column values whose bins coincide (e.g. two dates in the same
+    year) share one code, and that code's label object is the one
+    :func:`bin_value` produces for the group's *first* row — exactly the
+    label the per-row scalar path would emit for the group.
+
+    Returns ``None`` to decline (mixed-type columns, NaN) — the caller then
+    maps :func:`bin_value` per value.
+    """
+    if column.kind not in (KIND_NUMBER, KIND_TEXT):
+        return None
+    if column.kind == KIND_NUMBER and column.has_nan:
+        # int(nan) raises; let the scalar path raise it identically
+        return None
+    length = len(column)
+    codes = np.zeros(length, dtype=np.intp)
+    labels: list = [None]
+    valid_rows = np.flatnonzero(~column.mask)
+    if valid_rows.size:
+        uniques, first_sub, inverse = np.unique(
+            column.data[valid_rows], return_index=True, return_inverse=True
+        )
+        first_rows = valid_rows[first_sub]
+        unique_codes = np.empty(len(uniques), dtype=np.intp)
+        label_codes: dict = {}
+        # walk uniques by first occurrence so equal-label collisions keep the
+        # earliest row's label object (what the scalar path emits for a group)
+        for position in np.argsort(first_rows, kind="stable"):
+            label = bin_value(column.objects[first_rows[position]], unit, interval)
+            code = label_codes.get(label)
+            if code is None:
+                code = len(labels)
+                label_codes[label] = code
+                labels.append(label)
+            unique_codes[position] = code
+        codes[valid_rows] = unique_codes[inverse]
+    return object_array(labels), codes

@@ -1,18 +1,33 @@
-"""The columnar physical engine: logical plans over column batches.
+"""The columnar physical engine: vectorized logical plans over column batches.
 
 This is the fast execution path of the reproduction.  Where the legacy row
 interpreter (:class:`~repro.executor.executor.DVQExecutor`) builds a dict
 ``_RowContext`` per joined row, :class:`ColumnarEngine` executes a logical
-plan (:mod:`repro.plan`) over :class:`_Batch`\\ es — aligned column lists
-pulled straight from :meth:`repro.database.table.Table.column_store` — with
-hash-based joins and grouping.  Value semantics are shared with the
-interpreter by construction: predicates evaluate through
-:func:`repro.executor.predicates.evaluate_condition`, binning through
-:func:`repro.executor.binning.bin_value`, aggregates through
-:func:`repro.executor.functions.apply_aggregate`, and the top-k cut through
-the canonical value order of :mod:`repro.executor.ordering` — which is what
-keeps the engine row-for-row identical to the interpreter and SQLite in the
-differential suite.
+plan (:mod:`repro.plan`) over :class:`_Batch`\\ es — aligned
+:class:`~repro.database.typed.TypedColumn` arrays pulled from
+:meth:`repro.database.table.Table.typed_store` — with sort-based equi-joins
+and code-based grouping computed as NumPy kernels.
+
+Value semantics are shared with the interpreter by construction.  Every
+vector kernel either reproduces its scalar counterpart bit-for-bit or
+*declines*, dropping that one operator to the per-value path:
+
+* predicates: :func:`repro.executor.predicates.evaluate_condition_vector`,
+  falling back to :func:`~repro.executor.predicates.evaluate_condition`;
+* binning: :func:`repro.executor.binning.bin_encode`, falling back to
+  :func:`~repro.executor.binning.bin_value`;
+* aggregates: :func:`repro.executor.functions.grouped_aggregate_vector`,
+  falling back to :func:`~repro.executor.functions.apply_aggregate`;
+* joins: a sort/searchsorted kernel (NULL keys never match, per SQL),
+  falling back to the scalar hash/nested loop;
+* the top-k cut: the canonical value order of :mod:`repro.executor.ordering`.
+
+That decline-don't-approximate contract is what keeps the engine row-for-row
+identical to the interpreter, SQLite, and its own unvectorized mode
+(``vectorize=False``) in the differential suite.  Scans over large batches
+shard into row-range morsels executed on a :class:`~repro.runtime.runner.
+BatchRunner` thread pool; morsel masks are concatenated in range order, so
+results are independent of worker count.
 
 :class:`ColumnarBackend` wraps the engine behind the
 :class:`~repro.executor.backend.ExecutionBackend` protocol: plan, optimize
@@ -23,19 +38,28 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.database.database import Database
+from repro.database.typed import (
+    KIND_NUMBER,
+    KIND_TEXT,
+    TypedColumn,
+    as_object_column,
+    object_array,
+)
 from repro.dvq.nodes import DVQuery
 from repro.executor.backend import (
     ExecutionOutcome,
     explain_execution,
     normalize_result,
 )
-from repro.executor.binning import bin_value
+from repro.executor.binning import bin_encode, bin_value
 from repro.executor.errors import ExecutionError
 from repro.executor.executor import ExecutionResult
-from repro.executor.functions import apply_aggregate
+from repro.executor.functions import apply_aggregate, grouped_aggregate_vector
 from repro.executor.ordering import canonical_sorted, legacy_order_key
-from repro.executor.predicates import evaluate_condition
+from repro.executor.predicates import evaluate_condition, evaluate_condition_vector
 from repro.plan.nodes import (
     HASH,
     Aggregate,
@@ -56,26 +80,114 @@ from repro.plan.nodes import (
     output_labels,
 )
 from repro.plan.optimizer import OptimizerConfig, optimize
+from repro.runtime.runner import BatchRunner
 
 #: Batch key of the derived bin-label column (cannot collide with a scan key,
 #: whose first element is a table's effective name).
 BIN_COLUMN = ("", "__bin__")
 
+#: Default number of rows per morsel when scans shard across workers.
+DEFAULT_MORSEL_SIZE = 65536
+
+_EMPTY_INDICES = np.empty(0, dtype=np.intp)
+
+
+class _LazyColumn:
+    """A batch column that may not have been gathered yet.
+
+    ``base`` is the source :class:`TypedColumn` and ``indices`` the row
+    indices selecting from it (``None`` = identity).  :meth:`get` gathers on
+    first read and caches, so a column that no operator ever reads — e.g. a
+    join key after the join, or every non-aggregated column under
+    ``COUNT(*)`` — is never materialised at all.
+    """
+
+    __slots__ = ("base", "indices", "_value")
+
+    def __init__(
+        self,
+        base: TypedColumn,
+        indices: Optional[np.ndarray] = None,
+    ):
+        self.base = base
+        self.indices = indices
+        self._value: Optional[TypedColumn] = base if indices is None else None
+
+    def get(self) -> TypedColumn:
+        value = self._value
+        if value is None:
+            value = self.base.take(self.indices)
+            self._value = value
+        return value
+
 
 class _Batch:
-    """Aligned column lists: the unit of data flowing between plan operators."""
+    """Aligned typed columns: the unit of data flowing between plan operators.
 
-    __slots__ = ("length", "columns")
+    Columns are held as :class:`_LazyColumn` selections over the scan-level
+    base columns: :meth:`take` and :meth:`slice` only compose index arrays
+    (once per distinct selection, not once per column), deferring the
+    expensive object/typed/mask gathers until an operator reads the column
+    through :meth:`column`.
 
-    def __init__(self, length: int, columns: Dict[Tuple[str, str], List[object]]):
+    ``bin_codes`` dictionary-encodes the ``BIN_COLUMN`` labels when the Bin
+    node was vectorized (code 0 = NULL), letting Aggregate group on codes
+    without re-encoding the label objects.
+    """
+
+    __slots__ = ("length", "columns", "bin_codes")
+
+    def __init__(
+        self,
+        length: int,
+        columns: Dict[Tuple[str, str], _LazyColumn],
+        bin_codes: Optional[np.ndarray] = None,
+    ):
         self.length = length
         self.columns = columns
+        self.bin_codes = bin_codes
 
-    def gather(self, indices: List[int]) -> Dict[Tuple[str, str], List[object]]:
-        return {
-            key: [column[index] for index in indices]
-            for key, column in self.columns.items()
-        }
+    def column(self, key: Tuple[str, str]) -> TypedColumn:
+        """Materialise and return the column ``key`` (cached per batch)."""
+        return self.columns[key].get()
+
+    def take(self, indices: np.ndarray) -> "_Batch":
+        # columns from one join side share one indices array; compose it once
+        composed: Dict[int, np.ndarray] = {}
+        columns: Dict[Tuple[str, str], _LazyColumn] = {}
+        for key, holder in self.columns.items():
+            if holder.indices is None:
+                columns[key] = _LazyColumn(holder.base, indices)
+            else:
+                selection = composed.get(id(holder.indices))
+                if selection is None:
+                    selection = holder.indices[indices]
+                    composed[id(holder.indices)] = selection
+                columns[key] = _LazyColumn(holder.base, selection)
+        return _Batch(
+            len(indices),
+            columns,
+            None if self.bin_codes is None else self.bin_codes[indices],
+        )
+
+    def slice(self, start: int, stop: int) -> "_Batch":
+        composed = {}
+        columns: Dict[Tuple[str, str], _LazyColumn] = {}
+        for key, holder in self.columns.items():
+            if holder.indices is None:
+                # a row-range of an ungathered base is a zero-copy view
+                columns[key] = _LazyColumn(holder.base.slice(start, stop))
+            else:
+                selection = composed.get(id(holder.indices))
+                if selection is None:
+                    selection = holder.indices[start:stop]
+                    composed[id(holder.indices)] = selection
+                columns[key] = _LazyColumn(holder.base, selection)
+        return _Batch(
+            stop - start,
+            columns,
+            None if self.bin_codes is None else self.bin_codes[start:stop],
+        )
 
 
 def _scan_of(node: PlanNode) -> Scan:
@@ -87,14 +199,31 @@ def _scan_of(node: PlanNode) -> Scan:
 
 
 class ColumnarEngine:
-    """Execute logical plans over column batches.
+    """Execute logical plans over typed column batches.
 
-    ``bin_interval`` is the fixed width of ``BIN ... BY INTERVAL`` buckets,
-    matching the interpreter's parameter.
+    Args:
+        bin_interval: the fixed width of ``BIN ... BY INTERVAL`` buckets,
+            matching the interpreter's parameter.
+        vectorize: run the NumPy kernels (with per-value fallback).  Off, the
+            engine evaluates every value through the scalar functions — the
+            reference mode the differential suite compares against.
+        max_workers: thread-pool width for morsel-parallel predicate scans;
+            ``1`` stays serial.
+        morsel_size: rows per morsel when sharding a scan across workers.
     """
 
-    def __init__(self, bin_interval: int = 100):
+    def __init__(
+        self,
+        bin_interval: int = 100,
+        vectorize: bool = True,
+        max_workers: int = 1,
+        morsel_size: int = DEFAULT_MORSEL_SIZE,
+    ):
         self.bin_interval = bin_interval
+        self.vectorize = vectorize
+        self.morsel_size = max(int(morsel_size), 1)
+        self.max_workers = max_workers
+        self._runner = BatchRunner(max_workers=max_workers) if max_workers > 1 else None
 
     # -- row-producing nodes -------------------------------------------------
 
@@ -117,7 +246,7 @@ class ColumnarEngine:
             return self._aggregate(node, database)
         if isinstance(node, Project):
             batch = self._batch(node.child, database)
-            columns = [batch.columns[output.column.key()] for output in node.outputs]
+            columns = [batch.column(output.column.key()).objects for output in node.outputs]
             return [
                 tuple(column[index] for column in columns) for index in range(batch.length)
             ]
@@ -136,14 +265,111 @@ class ColumnarEngine:
         )
         return rows[: node.count]
 
+    # -- aggregation ---------------------------------------------------------
+
     def _aggregate(self, node: Aggregate, database: Database) -> List[Tuple[object, ...]]:
         batch = self._batch(node.child, database)
-        key_columns: List[List[object]] = []
+        if self.vectorize:
+            return self._aggregate_grouped(node, batch, *self._group_ids(node, batch))
+        return self._aggregate_scalar(node, batch)
+
+    def _group_ids(
+        self, node: Aggregate, batch: _Batch
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Group rows: ``(gid, first_rows, group_count)`` in first-seen order.
+
+        An unhashable key value raises TypeError — the same exception the
+        scalar path's dict group keys would raise.
+        """
+        if not node.keys:
+            # aggregates-only query: one implicit group, absent on empty input
+            if batch.length == 0:
+                return np.zeros(0, dtype=np.intp), np.zeros(0, dtype=np.intp), 0
+            gid = np.zeros(batch.length, dtype=np.intp)
+            return gid, np.zeros(1, dtype=np.intp), 1
+        if batch.length == 0:
+            return np.zeros(0, dtype=np.intp), np.zeros(0, dtype=np.intp), 0
+        combined: Optional[np.ndarray] = None
         for key in node.keys:
             if isinstance(key, BinKey):
-                key_columns.append(batch.columns[BIN_COLUMN])
+                codes = batch.bin_codes
+                if codes is None:
+                    codes = _encode_objects(batch.column(BIN_COLUMN).objects)
             else:
-                key_columns.append(batch.columns[key.key()])
+                codes = _encode_key(batch.column(key.key()))
+            if combined is None:
+                combined = codes.astype(np.int64)
+            else:
+                # pairwise re-encode keeps the combined code < row count, so
+                # the product below never overflows int64
+                combined = combined * (np.int64(codes.max()) + 1) + codes
+                _, combined = np.unique(combined, return_inverse=True)
+        assert combined is not None
+        _, first_idx, inverse = np.unique(combined, return_index=True, return_inverse=True)
+        order = np.argsort(first_idx, kind="stable")
+        rank = np.empty(order.size, dtype=np.intp)
+        rank[order] = np.arange(order.size)
+        return rank[inverse], first_idx[order], order.size
+
+    def _aggregate_grouped(
+        self,
+        node: Aggregate,
+        batch: _Batch,
+        gid: np.ndarray,
+        first_rows: np.ndarray,
+        group_count: int,
+    ) -> List[Tuple[object, ...]]:
+        members_bounds: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+        def members(group: int) -> List[int]:
+            # lazy: row indices per group, only built when a kernel declines
+            nonlocal members_bounds
+            if members_bounds is None:
+                order = np.argsort(gid, kind="stable")
+                bounds = np.searchsorted(gid[order], np.arange(group_count + 1))
+                members_bounds = (order, bounds)
+            order, bounds = members_bounds
+            return order[bounds[group] : bounds[group + 1]].tolist()
+
+        columns_out: List[List[object]] = []
+        for output in node.outputs:
+            if isinstance(output, AggregateOutput):
+                if output.argument is None:  # COUNT(*)
+                    counts = np.bincount(gid, minlength=group_count)
+                    columns_out.append([int(count) for count in counts])
+                    continue
+                column = batch.column(output.argument.key())
+                values = grouped_aggregate_vector(
+                    output.function, column, gid, group_count, distinct=output.distinct
+                )
+                if values is None:
+                    objects = column.objects
+                    values = [
+                        apply_aggregate(
+                            output.function,
+                            [objects[index] for index in members(group)],
+                            distinct=output.distinct,
+                        )
+                        for group in range(group_count)
+                    ]
+                columns_out.append(values)
+            elif isinstance(output, BinOutput):
+                labels = batch.column(BIN_COLUMN).objects
+                columns_out.append([labels[row] for row in first_rows])
+            else:
+                objects = batch.column(output.column.key()).objects
+                columns_out.append([objects[row] for row in first_rows])
+        return [
+            tuple(column[group] for column in columns_out) for group in range(group_count)
+        ]
+
+    def _aggregate_scalar(self, node: Aggregate, batch: _Batch) -> List[Tuple[object, ...]]:
+        key_columns: List[np.ndarray] = []
+        for key in node.keys:
+            if isinstance(key, BinKey):
+                key_columns.append(batch.column(BIN_COLUMN).objects)
+            else:
+                key_columns.append(batch.column(key.key()).objects)
         groups: Dict[Tuple[object, ...], List[int]] = {}
         if key_columns:
             for index in range(batch.length):
@@ -164,15 +390,15 @@ class ColumnarEngine:
                     if output.argument is None:  # COUNT(*)
                         values: List[object] = [1] * len(members)
                     else:
-                        column = batch.columns[output.argument.key()]
+                        column = batch.column(output.argument.key()).objects
                         values = [column[index] for index in members]
                     row.append(
                         apply_aggregate(output.function, values, distinct=output.distinct)
                     )
                 elif isinstance(output, BinOutput):
-                    row.append(batch.columns[BIN_COLUMN][members[0]])
+                    row.append(batch.column(BIN_COLUMN).objects[members[0]])
                 else:
-                    row.append(batch.columns[output.column.key()][members[0]])
+                    row.append(batch.column(output.column.key()).objects[members[0]])
             rows.append(tuple(row))
         return rows
 
@@ -186,44 +412,84 @@ class ColumnarEngine:
         if isinstance(node, Join):
             return self._join(node, database)
         if isinstance(node, Bin):
-            batch = self._batch(node.child, database)
-            values = batch.columns[node.column.key()]
-            columns = dict(batch.columns)
-            columns[BIN_COLUMN] = [
-                bin_value(value, node.unit, self.bin_interval) for value in values
-            ]
-            return _Batch(batch.length, columns)
+            return self._bin(node, database)
         raise ExecutionError(f"Unsupported plan node {type(node).__name__}")
 
     def _scan(self, node: Scan, database: Database) -> _Batch:
         table = database.table(node.table)
-        store = table.column_store()
+        store = table.typed_store()
         effective = node.effective.lower()
         columns = {
-            (effective, name.lower()): store[name] for name in node.columns
+            (effective, name.lower()): _LazyColumn(store[name])
+            for name in node.columns
         }
         return _Batch(len(table), columns)
 
+    def _bin(self, node: Bin, database: Database) -> _Batch:
+        batch = self._batch(node.child, database)
+        column = batch.column(node.column.key())
+        columns = dict(batch.columns)
+        if self.vectorize:
+            encoded = bin_encode(column, node.unit, self.bin_interval)
+            if encoded is not None:
+                labels, codes = encoded
+                columns[BIN_COLUMN] = _LazyColumn(as_object_column(labels[codes]))
+                return _Batch(batch.length, columns, bin_codes=codes)
+        labels = object_array(
+            [bin_value(value, node.unit, self.bin_interval) for value in column.objects]
+        )
+        columns[BIN_COLUMN] = _LazyColumn(as_object_column(labels))
+        return _Batch(batch.length, columns)
+
+    # -- filtering -----------------------------------------------------------
+
     def _filter(self, node: Filter, database: Database) -> _Batch:
         batch = self._batch(node.child, database)
-        mask = self._mask(node.predicate, batch)
-        indices = [index for index, keep in enumerate(mask) if keep]
-        if len(indices) == batch.length:
+        mask = self._predicate_mask(node.predicate, batch)
+        indices = np.flatnonzero(mask)
+        if indices.size == batch.length:
             return batch
-        return _Batch(len(indices), batch.gather(indices))
+        return batch.take(indices)
 
-    def _mask(self, predicate: Predicate, batch: _Batch) -> List[bool]:
+    def _predicate_mask(self, predicate: Predicate, batch: _Batch) -> np.ndarray:
+        runner = self._runner
+        if runner is None or batch.length <= self.morsel_size:
+            return self._mask(predicate, batch)
+        ranges = [
+            (start, min(start + self.morsel_size, batch.length))
+            for start in range(0, batch.length, self.morsel_size)
+        ]
+        report = runner.run(
+            ranges, lambda rng: self._mask(predicate, batch.slice(rng[0], rng[1]))
+        )
+        if report.failure_count:
+            # re-run serially so the original exception type propagates
+            return self._mask(predicate, batch)
+        # concatenation in range order makes the result worker-count-independent
+        return np.concatenate(report.values())
+
+    def _mask(self, predicate: Predicate, batch: _Batch) -> np.ndarray:
         if isinstance(predicate, Comparison):
+            column = batch.column(predicate.column.key())
+            if self.vectorize:
+                mask = evaluate_condition_vector(predicate.condition, column)
+                if mask is not None:
+                    return mask
             condition = predicate.condition
-            values = batch.columns[predicate.column.key()]
-            return [evaluate_condition(condition, value) for value in values]
+            return np.fromiter(
+                (evaluate_condition(condition, value) for value in column.objects),
+                np.bool_,
+                count=len(column),
+            )
         if isinstance(predicate, ConstPredicate):
-            return [predicate.value] * batch.length
+            return np.full(batch.length, predicate.value, dtype=bool)
         left = self._mask(predicate.left, batch)
         right = self._mask(predicate.right, batch)
         if predicate.op == "AND":
-            return [a and b for a, b in zip(left, right)]
-        return [a or b for a, b in zip(left, right)]
+            return left & right
+        return left | right
+
+    # -- joins ---------------------------------------------------------------
 
     def _join(self, node: Join, database: Database) -> _Batch:
         left = self._batch(node.left, database)
@@ -234,51 +500,158 @@ class ColumnarEngine:
         # name); when neither step resolves, the interpreter skips every row
         # pair, i.e. the join is empty
         if node.left_key.key() in left.columns:
-            probe_column = left.columns[node.left_key.key()]
+            probe_column = left.column(node.left_key.key())
             candidates = (node.right_key.column, node.left_key.column)
         elif node.right_key.key() in left.columns:
-            probe_column = left.columns[node.right_key.key()]
+            probe_column = left.column(node.right_key.key())
             candidates = (node.left_key.column,)
         else:
             return self._empty_join(left, right)
         right_effective = _scan_of(node.right).effective.lower()
-        build_column: Optional[List[object]] = None
+        build_holder: Optional[_LazyColumn] = None
         for name in candidates:
-            build_column = right.columns.get((right_effective, name.lower()))
-            if build_column is not None:
+            build_holder = right.columns.get((right_effective, name.lower()))
+            if build_holder is not None:
                 break
-        if build_column is None:
+        if build_holder is None:
             return self._empty_join(left, right)
-        left_indices: List[int] = []
-        right_indices: List[int] = []
-        if node.strategy == HASH:
-            buckets: Dict[object, List[int]] = {}
-            for index, value in enumerate(build_column):
-                bucket = buckets.get(value)
-                if bucket is None:
-                    buckets[value] = [index]
-                else:
-                    bucket.append(index)
-            for index, value in enumerate(probe_column):
-                matches = buckets.get(value)
-                if matches:
-                    left_indices.extend([index] * len(matches))
-                    right_indices.extend(matches)
-        else:
-            for index, probe_value in enumerate(probe_column):
-                for build_index, build_value in enumerate(build_column):
-                    if probe_value == build_value:
-                        left_indices.append(index)
-                        right_indices.append(build_index)
-        columns = left.gather(left_indices)
-        columns.update(right.gather(right_indices))
+        build_column = build_holder.get()
+        indices: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        if self.vectorize:
+            indices = _vector_join_indices(probe_column, build_column)
+        if indices is None:
+            indices = _scalar_join_indices(
+                probe_column.objects, build_column.objects, node.strategy == HASH
+            )
+        left_indices, right_indices = indices
+        left = left.take(left_indices)
+        right = right.take(right_indices)
+        columns = dict(left.columns)
+        columns.update(right.columns)
         return _Batch(len(left_indices), columns)
 
     @staticmethod
     def _empty_join(left: _Batch, right: _Batch) -> _Batch:
-        columns = left.gather([])
-        columns.update(right.gather([]))
+        columns = dict(left.take(_EMPTY_INDICES).columns)
+        columns.update(right.take(_EMPTY_INDICES).columns)
         return _Batch(0, columns)
+
+
+# -- grouping / join kernels (module level so they are unit-testable) --------
+
+
+def _encode_key(column: TypedColumn) -> np.ndarray:
+    """Dictionary-encode one grouping column; NULL rows get code 0.
+
+    Number columns encode through ``np.unique`` on the float64 shadow
+    (equality there — ``5 == 5.0 == True`` — matches dict key equality in
+    the scalar path).  Text and mixed/NaN columns go through a Python dict,
+    whose identity-or-equality semantics are exactly the interpreter's tuple
+    group keys: for strings, ``np.unique``'s O(n log n) comparison sort
+    dominates the whole group-by, while the dict scan is several times
+    faster with identical (exact, case-sensitive) equality.
+    """
+    if column.kind == KIND_NUMBER and not column.has_nan:
+        codes = np.zeros(len(column), dtype=np.intp)
+        valid = np.flatnonzero(~column.mask)
+        if valid.size:
+            _, inverse = np.unique(column.data[valid], return_inverse=True)
+            codes[valid] = inverse + 1
+        return codes
+    return _encode_objects(column.objects)
+
+
+def _encode_objects(objects: np.ndarray) -> np.ndarray:
+    """Dict-encode arbitrary objects (raises TypeError on unhashable values,
+    like the scalar path's tuple group keys)."""
+    values = objects.tolist()
+    # dict.fromkeys is a C-level, insertion-ordered dedup with exactly dict
+    # key equality; only the (few) distinct values loop in Python
+    codes = dict.fromkeys(values)
+    for code, value in enumerate(codes):
+        codes[value] = code
+    return np.fromiter(
+        map(codes.__getitem__, values), dtype=np.intp, count=len(values)
+    )
+
+
+def _vector_join_indices(
+    probe: TypedColumn, build: TypedColumn
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Matching (probe_row, build_row) pairs of an equi-join, vectorized.
+
+    NULL keys never match (SQL semantics, shared with the scalar path).
+    Pairs come back probe-major with build rows ascending within a probe row
+    — the exact emit order of both the scalar hash join and the nested loop.
+    Returns ``None`` for mixed-type or NaN key columns.
+    """
+    for column in (probe, build):
+        if column.kind not in (KIND_NUMBER, KIND_TEXT):
+            return None
+        if column.kind == KIND_NUMBER and column.has_nan:
+            return None
+    if probe.kind != build.kind:
+        # a number never ``==`` a string: every pair misses
+        return _EMPTY_INDICES, _EMPTY_INDICES
+    build_rows = np.flatnonzero(~build.mask)
+    probe_rows = np.flatnonzero(~probe.mask)
+    if build_rows.size == 0 or probe_rows.size == 0:
+        return _EMPTY_INDICES, _EMPTY_INDICES
+    build_values = build.data[build_rows]
+    sorter = np.argsort(build_values, kind="stable")
+    sorted_values = build_values[sorter]
+    probe_values = probe.data[probe_rows]
+    lo = np.searchsorted(sorted_values, probe_values, side="left")
+    hi = np.searchsorted(sorted_values, probe_values, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY_INDICES, _EMPTY_INDICES
+    left_indices = np.repeat(probe_rows, counts)
+    # per probe row, enumerate its run [lo, hi) of the sorted build side
+    segment_starts = np.repeat(np.cumsum(counts) - counts, counts)
+    positions = np.arange(total) - segment_starts + np.repeat(lo, counts)
+    # the stable sorter keeps equal build keys in row order, so this is
+    # ascending build-row order within each probe row
+    right_indices = build_rows[sorter[positions]]
+    return left_indices, right_indices
+
+
+def _scalar_join_indices(
+    probe_column: np.ndarray, build_column: np.ndarray, hashed: bool
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The per-value join fallback; NULL keys never match (SQL semantics)."""
+    left_indices: List[int] = []
+    right_indices: List[int] = []
+    if hashed:
+        buckets: Dict[object, List[int]] = {}
+        for index, value in enumerate(build_column):
+            if value is None:
+                continue
+            bucket = buckets.get(value)
+            if bucket is None:
+                buckets[value] = [index]
+            else:
+                bucket.append(index)
+        for index, value in enumerate(probe_column):
+            if value is None:
+                continue
+            matches = buckets.get(value)
+            if matches:
+                left_indices.extend([index] * len(matches))
+                right_indices.extend(matches)
+    else:
+        for index, probe_value in enumerate(probe_column):
+            if probe_value is None:
+                continue
+            for build_index, build_value in enumerate(build_column):
+                if build_value is not None and probe_value == build_value:
+                    left_indices.append(index)
+                    right_indices.append(build_index)
+    return (
+        np.asarray(left_indices, dtype=np.intp),
+        np.asarray(right_indices, dtype=np.intp),
+    )
 
 
 class ColumnarBackend:
@@ -293,6 +666,10 @@ class ColumnarBackend:
             useful for optimizer ablations and differential testing; results
             are identical either way.
         optimizer_config: which optimizer rules apply when ``optimize`` is on.
+        vectorize: run the NumPy kernels; off = the per-value reference mode
+            (the ``"columnar-python"`` entry of the differential matrix).
+        max_workers: morsel-scan thread-pool width (1 = serial).
+        morsel_size: rows per morsel for parallel scans.
     """
 
     name = "columnar"
@@ -303,11 +680,23 @@ class ColumnarBackend:
         normalize: bool = True,
         optimize: bool = True,
         optimizer_config: Optional[OptimizerConfig] = None,
+        vectorize: bool = True,
+        max_workers: int = 1,
+        morsel_size: int = DEFAULT_MORSEL_SIZE,
     ):
-        self._engine = ColumnarEngine(bin_interval=bin_interval)
+        self._engine = ColumnarEngine(
+            bin_interval=bin_interval,
+            vectorize=vectorize,
+            max_workers=max_workers,
+            morsel_size=morsel_size,
+        )
         self.normalize = normalize
         self.optimize = optimize
         self.optimizer_config = optimizer_config or OptimizerConfig()
+
+    @property
+    def vectorize(self) -> bool:
+        return self._engine.vectorize
 
     def plan(self, query: DVQuery, database: Database) -> PlanNode:
         """The plan this backend would execute (optimized when enabled)."""

@@ -193,9 +193,9 @@ class DVQExecutor:
         is empty.  Resolution is structural — identical for every context — so
         it is decided once, the new table is hashed on its key, and each
         context probes the hash; output order (context order, then right-row
-        order) and match semantics (plain ``==``) are exactly those of the
-        nested loop, which :meth:`_join_nested` preserves as the fallback for
-        unhashable key values.
+        order) and match semantics (``==`` with NULL keys never matching, per
+        SQL) are exactly those of the nested loop, which :meth:`_join_nested`
+        preserves as the fallback for unhashable key values.
         """
         right_map = maps[right_name]
         if not contexts:
@@ -223,6 +223,8 @@ class DVQExecutor:
             buckets: Dict[object, List[Dict[str, object]]] = {}
             for row in right_rows:
                 value = row[build_name]
+                if value is None:  # SQL semantics: NULL keys never join
+                    continue
                 bucket = buckets.get(value)
                 if bucket is None:
                     buckets[value] = [row]
@@ -238,11 +240,15 @@ class DVQExecutor:
                 left_value = context.lookup(probe_key)
             except ExecutionError:
                 continue
+            if left_value is None:  # a NULL probe key matches nothing
+                continue
             try:
                 matches = buckets.get(left_value)
             except TypeError:
                 matches = [
-                    row for row in right_rows if left_value == row[build_name]
+                    row
+                    for row in right_rows
+                    if row[build_name] is not None and left_value == row[build_name]
                 ]
             for row in matches or ():
                 parts = dict(context.parts)
@@ -285,7 +291,8 @@ class DVQExecutor:
                         left_value = context.lookup(right_key)
                     except (KeyError, ExecutionError):
                         continue
-                if left_value == right_value:
+                # SQL semantics: a NULL key on either side never matches
+                if left_value is not None and right_value is not None and left_value == right_value:
                     parts = dict(context.parts)
                     parts[right_name] = row
                     joined.append(_RowContext(parts, aliases, maps))

@@ -1,8 +1,20 @@
-"""Aggregate functions used by the executor."""
+"""Aggregate functions used by the executor, per group and vectorized.
+
+The scalar functions define the semantics; :func:`grouped_aggregate_vector`
+computes one aggregate for *every* group at once from a typed column plus a
+group-id array, or returns ``None`` to decline when array arithmetic cannot
+reproduce the scalar path exactly (mixed-type columns, NaN, DISTINCT
+SUM/AVG whose float accumulation order depends on set iteration order, text
+columns whose values coerce through ``float`` individually).
+"""
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.database.typed import KIND_NUMBER, KIND_TEXT, TypedColumn
 
 
 def _numeric(values: Sequence[object]) -> List[float]:
@@ -73,3 +85,123 @@ def apply_aggregate(name: str, values: Sequence[object], distinct: bool = False)
         KeyError: for unknown aggregate names.
     """
     return AGGREGATE_FUNCTIONS[name.upper()](values, distinct=distinct)
+
+
+def _grouped_count(
+    column: TypedColumn, gid: np.ndarray, group_count: int, distinct: bool
+) -> List[int]:
+    valid = ~column.mask
+    if not distinct:
+        counts = np.bincount(gid[valid], minlength=group_count)
+        return [int(count) for count in counts]
+    groups = gid[valid]
+    if groups.size == 0:
+        return [0] * group_count
+    # count distinct (group, value) pairs: sort, keep the first of each run.
+    # float64 / exact-text equality here matches the scalar path's set():
+    # 5 == 5.0 == True dedupe together, text stays case-sensitive.
+    order = np.lexsort((column.data[valid], groups))
+    sorted_groups = groups[order]
+    sorted_values = column.data[valid][order]
+    keep = np.ones(sorted_groups.size, dtype=bool)
+    keep[1:] = (sorted_groups[1:] != sorted_groups[:-1]) | (
+        sorted_values[1:] != sorted_values[:-1]
+    )
+    counts = np.bincount(sorted_groups[keep], minlength=group_count)
+    return [int(count) for count in counts]
+
+
+def _grouped_sum_avg(
+    name: str, column: TypedColumn, gid: np.ndarray, group_count: int
+) -> List[Optional[float]]:
+    # np.bincount accumulates weights in input order, so each group's float
+    # sum is added in exactly the scalar path's (row) order; NULL slots hold
+    # the 0.0 placeholder, which is accumulation-neutral
+    sums = np.bincount(gid, weights=column.data, minlength=group_count)
+    counts = np.bincount(gid[~column.mask], minlength=group_count)
+    if name == "SUM":
+        return [float(sums[g]) if counts[g] else None for g in range(group_count)]
+    return [
+        float(sums[g]) / int(counts[g]) if counts[g] else None
+        for g in range(group_count)
+    ]
+
+
+def _grouped_min_max(
+    name: str, column: TypedColumn, gid: np.ndarray, group_count: int
+) -> List[Optional[object]]:
+    valid_rows = np.flatnonzero(~column.mask)
+    result: List[Optional[object]] = [None] * group_count
+    if valid_rows.size == 0:
+        return result
+    groups = gid[valid_rows]
+    values = column.data[valid_rows]
+    # a stable sort on the group ids alone keeps each group's rows in row
+    # order; reduceat then computes the per-group extreme in O(n), and the
+    # first row whose value == its group's extreme is the exact object
+    # Python's min()/max() would return (both keep the first of equals)
+    order = np.argsort(groups, kind="stable")
+    sorted_groups = groups[order]
+    sorted_values = values[order]
+    boundary = np.ones(sorted_groups.size, dtype=bool)
+    boundary[1:] = sorted_groups[1:] != sorted_groups[:-1]
+    starts = np.flatnonzero(boundary)
+    if sorted_values.dtype.kind == "U":
+        # the minimum/maximum ufuncs have no string loop; rank values inside
+        # each segment instead (groups stay primary, so segment boundaries
+        # are unchanged) and read each extreme off the segment edge
+        ranked = sorted_values[np.lexsort((sorted_values, sorted_groups))]
+        if name == "MIN":
+            extremes = ranked[starts]
+        else:
+            extremes = ranked[np.append(starts[1:], sorted_groups.size) - 1]
+    else:
+        reducer = np.minimum if name == "MIN" else np.maximum
+        extremes = reducer.reduceat(sorted_values, starts)
+    lengths = np.diff(np.append(starts, sorted_groups.size))
+    hits = np.flatnonzero(sorted_values == np.repeat(extremes, lengths))
+    segment_ids = np.cumsum(boundary) - 1
+    # segment ids ascend, so np.unique's return_index is the first hit per
+    # segment
+    first_hits = hits[np.unique(segment_ids[hits], return_index=True)[1]]
+    picked_rows = valid_rows[order[first_hits]]
+    for group, row in zip(sorted_groups[first_hits], picked_rows):
+        result[int(group)] = column.objects[row]
+    return result
+
+
+def grouped_aggregate_vector(
+    name: str,
+    column: TypedColumn,
+    gid: np.ndarray,
+    group_count: int,
+    distinct: bool = False,
+) -> Optional[List[object]]:
+    """One aggregate value per group, vectorized; ``None`` declines.
+
+    ``gid[i]`` is row ``i``'s group id in ``[0, group_count)``.  A returned
+    list is always element-for-element identical (by object, not merely
+    ``==``) to applying the scalar aggregate to each group's member values
+    in row order.
+    """
+    name = name.upper()
+    if name == "COUNT" and not distinct:
+        # plain COUNT only consults the null mask — works for every kind
+        counts = np.bincount(gid[~column.mask], minlength=group_count)
+        return [int(count) for count in counts]
+    if column.kind not in (KIND_NUMBER, KIND_TEXT):
+        return None
+    if column.kind == KIND_NUMBER and column.has_nan:
+        # NaN: sums poison exactly but min/max/distinct become order-dependent
+        return None
+    if name == "COUNT":
+        return _grouped_count(column, gid, group_count, distinct)
+    if name in ("SUM", "AVG"):
+        if distinct or column.kind != KIND_NUMBER:
+            # DISTINCT sums in set-iteration order; text values coerce
+            # through float() one by one — both are scalar-path territory
+            return None
+        return _grouped_sum_avg(name, column, gid, group_count)
+    if name in ("MIN", "MAX"):
+        return _grouped_min_max(name, column, gid, group_count)
+    return None

@@ -12,34 +12,43 @@ output rows so that
 
 The per-value key mirrors the interpreter's historical sort semantics: numbers
 sort before strings (case-insensitively) before ``NULL``, so ``NULL`` lands
-last ascending and first descending.
+last ascending and first descending.  ``NaN`` gets its own rank between the
+finite numbers and the strings: a NaN inside a sort-key tuple would otherwise
+break the total order (every ``<`` involving NaN is False), making
+``canonical_sorted`` and the LIMIT cut depend on input order.
 """
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional, Sequence, Tuple
 
 from repro.dvq.nodes import AggregateExpr, DVQuery, SortDirection
 
-#: Type ranks of the canonical value order: numbers < strings < NULL.
+#: Type ranks of the canonical value order: numbers < NaN < strings < NULL.
 _RANK_NUMBER = 0
-_RANK_TEXT = 1
-_RANK_NULL = 2
+_RANK_NAN = 1
+_RANK_TEXT = 2
+_RANK_NULL = 3
 
 
 def value_sort_key(value: object) -> Tuple[int, object, str]:
     """Total-order key for a single output value.
 
-    Numbers (including bools) compare numerically, strings case-insensitively
-    with the exact text as a tiebreak, and ``None`` sorts after everything.
-    Values of other types fall back to their string form.
+    Numbers (including bools) compare numerically, NaN ranks after every
+    finite number, strings compare case-insensitively with the exact text as
+    a tiebreak, and ``None`` sorts after everything.  Values of other types
+    fall back to their string form.
     """
     if value is None:
         return (_RANK_NULL, 0.0, "")
     if isinstance(value, bool):
         return (_RANK_NUMBER, float(value), "")
     if isinstance(value, (int, float)):
-        return (_RANK_NUMBER, float(value), "")
+        number = float(value)
+        if math.isnan(number):
+            return (_RANK_NAN, 0.0, "")
+        return (_RANK_NUMBER, number, "")
     text = value if isinstance(value, str) else str(value)
     return (_RANK_TEXT, text.lower(), text)
 
@@ -49,20 +58,23 @@ def row_sort_key(row: Sequence[object]) -> Tuple[Tuple[int, object, str], ...]:
     return tuple(value_sort_key(value) for value in row)
 
 
-def legacy_order_key(value: object) -> Tuple[int, object]:
+def legacy_order_key(value: object) -> Tuple[int, float, str]:
     """The interpreter's historical ORDER BY key (pre-normalisation order).
 
-    Like :func:`value_sort_key` — Nones last, numbers before strings, strings
-    case-insensitively — but without the exact-text tiebreak, preserving the
-    seed interpreter's exact sort for results that are not normalised.  Both
-    row engines (the legacy interpreter and the columnar engine's Sort node)
-    share this one definition.
+    Like :func:`value_sort_key` — Nones last, numbers before NaN before
+    strings, strings case-insensitively — but without the exact-text tiebreak,
+    preserving the seed interpreter's exact sort for results that are not
+    normalised.  Both row engines (the legacy interpreter and the columnar
+    engine's Sort node) share this one definition.
     """
     if value is None:
-        return (2, "")
+        return (3, 0.0, "")
     if isinstance(value, (int, float)) and not isinstance(value, bool):
-        return (0, float(value))
-    return (1, str(value).lower())
+        number = float(value)
+        if math.isnan(number):
+            return (1, 0.0, "")
+        return (0, number, "")
+    return (2, 0.0, str(value).lower())
 
 
 def order_index(query: DVQuery) -> int:

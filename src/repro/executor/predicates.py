@@ -1,9 +1,21 @@
-"""Evaluation of WHERE-clause predicates over rows."""
+"""Evaluation of WHERE-clause predicates, per row and vectorized.
+
+The per-value functions (:func:`evaluate_condition` and friends) define the
+semantics; :func:`evaluate_condition_vector` is the NumPy kernel the columnar
+engine uses on typed columns.  The kernel either returns a boolean mask that
+is *bit-identical* to mapping :func:`evaluate_condition` over the column, or
+``None`` to decline — any case whose semantics depend on per-value coercion
+(e.g. a text column compared against a numeric literal, where each value's
+float-parseability decides the comparison) falls back to the scalar path.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
+import numpy as np
+
+from repro.database.typed import KIND_NUMBER, KIND_TEXT, TypedColumn
 from repro.dvq.nodes import Condition, WhereClause
 
 
@@ -69,6 +81,153 @@ def _like(value: object, pattern: object) -> bool:
     if pattern_text.endswith("%"):
         return text.startswith(pattern_text.rstrip("%"))
     return text == pattern_text
+
+
+def _vector_literal(column: TypedColumn, literal: object) -> Optional[object]:
+    """``literal`` as a comparand for ``column``'s typed data, or None to decline.
+
+    Mirrors :func:`_coerce_pair` for the case where the column side's type is
+    uniform: a number column coerces string literals through ``float`` (a
+    non-parseable string would compare per-value against ``str(value)`` —
+    decline), a text column compares against string literals exactly (numeric
+    literals would parse each value individually — decline).
+    """
+    if column.kind == KIND_NUMBER:
+        if isinstance(literal, (bool, int, float)):
+            return float(literal)
+        if isinstance(literal, str):
+            try:
+                return float(literal)
+            except ValueError:
+                return None
+        return None
+    if isinstance(literal, str):
+        return literal
+    return None
+
+
+def _vector_compare(column: TypedColumn, operator: str, literal: object) -> Optional[np.ndarray]:
+    """Vectorized :func:`_compare` of a typed column against one literal."""
+    valid = ~column.mask
+    if literal is None:
+        # comparisons against a NULL literal are uniformly False
+        return np.zeros(len(column), dtype=bool)
+    if (
+        operator in ("=", "!=")
+        and isinstance(literal, str)
+        and literal.lower() == "null"
+    ):
+        # the explicit "null" sentinel: number columns can only match by
+        # being NULL; text columns also match the literal text "null"
+        if column.kind == KIND_NUMBER:
+            matched = column.mask.copy()
+        else:
+            matched = column.mask | (column.lowered == "null")
+        return ~matched if operator == "!=" else matched
+    comparand = _vector_literal(column, literal)
+    if comparand is None:
+        return None
+    if operator == "=":
+        if column.kind == KIND_TEXT:
+            return (column.lowered == comparand.lower()) & valid
+        return (column.data == comparand) & valid
+    if operator == "!=":
+        if column.kind == KIND_TEXT:
+            return (column.lowered != comparand.lower()) & valid
+        return (column.data != comparand) & valid
+    # ordering comparisons: numbers numerically, strings by exact code point
+    # (matching Python's str ordering) — NULL slots are always False
+    if operator == ">":
+        return (column.data > comparand) & valid
+    if operator == ">=":
+        return (column.data >= comparand) & valid
+    if operator == "<":
+        return (column.data < comparand) & valid
+    if operator == "<=":
+        return (column.data <= comparand) & valid
+    return None
+
+
+def _vector_in(condition: Condition, column: TypedColumn) -> Optional[np.ndarray]:
+    """Vectorized IN / NOT IN membership; NULL rows keep passing NOT IN."""
+    comparands = []
+    null_item = False
+    for item in condition.value:
+        if item is None:
+            # a NULL list item loose-equals only a NULL value (None == None)
+            null_item = True
+            continue
+        comparand = _vector_literal(column, item)
+        if comparand is None:
+            return None
+        comparands.append(comparand.lower() if column.kind == KIND_TEXT else comparand)
+    if comparands:
+        haystack = column.lowered if column.kind == KIND_TEXT else column.data
+        matched = np.isin(haystack, np.array(comparands))
+    else:
+        matched = np.zeros(len(column), dtype=bool)
+    # NULL rows match iff the list itself contains NULL; when it does not,
+    # negation brings them back True — exactly the scalar path
+    matched[column.mask] = null_item
+    return ~matched if condition.negated else matched
+
+
+def _vector_like(condition: Condition, column: TypedColumn) -> Optional[np.ndarray]:
+    """Vectorized LIKE / NOT LIKE over a text column's lowered shadow."""
+    pattern = condition.value
+    if pattern is None:
+        matched = np.zeros(len(column), dtype=bool)
+    else:
+        pattern_text = str(pattern).lower()
+        lowered = column.lowered
+        if pattern_text.startswith("%") and pattern_text.endswith("%"):
+            matched = np.char.find(lowered, pattern_text.strip("%")) >= 0
+        elif pattern_text.startswith("%"):
+            matched = np.char.endswith(lowered, pattern_text.lstrip("%"))
+        elif pattern_text.endswith("%"):
+            matched = np.char.startswith(lowered, pattern_text.rstrip("%"))
+        else:
+            matched = lowered == pattern_text
+        matched[column.mask] = False  # NULL never matches ...
+    # ... and therefore always passes NOT LIKE, matching the scalar path
+    return ~matched if condition.negated else matched
+
+
+def evaluate_condition_vector(
+    condition: Condition, column: TypedColumn
+) -> Optional[np.ndarray]:
+    """Vectorized :func:`evaluate_condition` over a :class:`TypedColumn`.
+
+    Returns the boolean keep-mask, or ``None`` when this condition/column
+    combination is not exactly representable as array operations — the caller
+    must then map :func:`evaluate_condition` over ``column.objects``.  The
+    contract (pinned by the differential suite) is that a returned mask is
+    always identical to that scalar map.
+    """
+    if column.kind not in (KIND_NUMBER, KIND_TEXT):
+        return None
+    if column.kind == KIND_NUMBER and column.has_nan:
+        # NaN turns membership/range checks into per-value questions
+        return None
+    operator = condition.operator.upper()
+    if operator == "IS NULL":
+        return ~column.mask if condition.negated else column.mask.copy()
+    if operator == "BETWEEN":
+        low = _vector_compare(column, ">=", condition.value)
+        high = _vector_compare(column, "<=", condition.value2)
+        if low is None or high is None:
+            return None
+        return low & high
+    if operator == "IN":
+        return _vector_in(condition, column)
+    if operator == "LIKE":
+        if column.kind != KIND_TEXT:
+            # str(value) of a float64 shadow differs from the Python object
+            return None
+        return _vector_like(condition, column)
+    if operator in ("=", "!=", ">", ">=", "<", "<="):
+        return _vector_compare(column, operator, condition.value)
+    return None
 
 
 def evaluate_condition(condition: Condition, value: object) -> bool:

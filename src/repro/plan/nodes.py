@@ -227,8 +227,9 @@ class Join(_NodeBase):
     ``None`` for degenerate clauses — used by the optimizer's hash-join
     selection (degenerate joins stay nested-loop).  The engine itself
     re-derives the sides from the batches at run time, mirroring the
-    interpreter's name-based fallback lookup; key equality is plain Python
-    ``==`` — the interpreter's historical join semantics.
+    interpreter's name-based fallback lookup; key equality is Python ``==``
+    with NULL keys never matching — SQL join semantics, shared by every
+    engine.
     """
 
     left: "PlanNode"

@@ -195,8 +195,14 @@ def build_workload_database(
     null_fraction: float = 0.08,
     skew: float = 0.5,
     correlated: bool = True,
+    fk_null_fraction: float = 0.0,
 ) -> Database:
-    """Schema graph + tiered correlated data in one seeded call."""
+    """Schema graph + tiered correlated data in one seeded call.
+
+    ``fk_null_fraction > 0`` additionally nulls foreign-key values so sweeps
+    exercise SQL NULL-join semantics; the default keeps historical databases
+    bit-identical.
+    """
     schema = build_schema_graph(config)
     counts = tiered_row_counts(schema, total_rows)
     generator = DataGenerator(
@@ -204,5 +210,6 @@ def build_workload_database(
         null_fraction=null_fraction,
         skew=skew,
         correlated=correlated,
+        fk_null_fraction=fk_null_fraction,
     )
     return generator.populate(schema, rows_by_table=counts)

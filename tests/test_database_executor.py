@@ -75,6 +75,51 @@ class TestTableAndCatalog:
         assert stats["avg_columns_per_table"] > 0
 
 
+class TestColumnStoreThreadSafety:
+    """The lazy column/typed stores build exactly once under concurrency.
+
+    Regression for a race where two threads could observe a half-built
+    column store (one invalidating, one building) — every concurrent reader
+    must get the *same* fully built store object with values matching the
+    row data.
+    """
+
+    def test_concurrent_store_builds_are_consistent(self, hr_database):
+        from repro.runtime.runner import BatchRunner
+
+        table = hr_database.table("employees")
+        column = table.canonical_column("SALARY")
+        expected = [row[column] for row in table.rows]
+        runner = BatchRunner(max_workers=8)
+        for _ in range(25):
+            table.refresh_columns()
+            stores = runner.map(
+                range(8), lambda _: (table.column_store(), table.typed_store())
+            )
+            first_lists, first_typed = stores[0]
+            for lists, typed in stores[1:]:
+                # one build per invalidation: everyone sees the same object
+                assert lists is first_lists
+                assert typed is first_typed
+            assert first_lists[column] == expected
+            assert list(first_typed[column].objects) == expected
+            assert len(first_typed[column].mask) == len(expected)
+
+    def test_insert_invalidates_both_stores(self):
+        schema = TableSchema(
+            "t", (Column("A", ColumnType.NUMBER), Column("B", ColumnType.TEXT))
+        )
+        table = Table(schema)
+        table.insert({"a": 1, "b": "x"})
+        assert table.column_store()["A"] == [1]
+        assert list(table.typed_store()["A"].objects) == [1]
+        table.insert({"a": 2, "b": None})
+        assert table.column_store()["A"] == [1, 2]
+        typed = table.typed_store()["B"]
+        assert list(typed.objects) == ["x", None]
+        assert list(typed.mask) == [False, True]
+
+
 class TestDataGenerator:
     def test_generation_is_deterministic(self):
         schema = build_schema(

@@ -1,0 +1,161 @@
+"""NaN ordering regressions: deterministic rank between numbers and text.
+
+A NaN inside a Python sort-key tuple breaks the total order (every ``<``
+involving NaN is False), which historically made ORDER BY, the LIMIT top-k
+cut and :func:`~repro.executor.backend.normalize_result` depend on input
+order whenever a NaN reached the sort column.  The fix ranks NaN as its own
+type between the finite numbers and the strings; these tests pin that rank
+and prove input-order independence across the row engines.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.database.database import Database
+from repro.database.schema import ColumnType, build_schema
+from repro.dvq import parse_dvq
+from repro.executor import ColumnarBackend, InterpreterBackend
+from repro.executor.backend import normalize_result
+from repro.executor.executor import ExecutionResult
+from repro.executor.ordering import legacy_order_key, value_sort_key
+
+NAN = float("nan")
+
+#: (READING_ID, VALUE) rows covering every rank: finite numbers, NaN, NULL.
+_ROWS = [
+    (index + 1, value)
+    for index, value in enumerate(
+        [7.5, NAN, None, -3, NAN, 0, None, 2.25, float("inf"), -float("inf")]
+    )
+]
+
+
+def _database(rows):
+    schema = build_schema(
+        "nan_db",
+        [
+            (
+                "readings",
+                [
+                    ("READING_ID", ColumnType.NUMBER, "id"),
+                    ("VALUE", ColumnType.NUMBER, "rating"),
+                ],
+            )
+        ],
+    )
+    database = Database(schema)
+    database.table("readings").extend(
+        [{"READING_ID": reading_id, "VALUE": value} for reading_id, value in rows]
+    )
+    return database
+
+
+def _permutations(rows, count=4):
+    """The original rows plus seeded shuffles — IDs stay paired with values."""
+    rng = random.Random(17)
+    yield list(rows)
+    for _ in range(count):
+        shuffled = list(rows)
+        rng.shuffle(shuffled)
+        yield shuffled
+
+
+class TestValueRanks:
+    def test_nan_ranks_after_finite_numbers_and_before_text(self):
+        assert value_sort_key(1e300)[0] < value_sort_key(NAN)[0]
+        assert value_sort_key(NAN)[0] < value_sort_key("aardvark")[0]
+        assert value_sort_key("zz")[0] < value_sort_key(None)[0]
+
+    def test_every_nan_maps_to_the_same_key(self):
+        assert value_sort_key(NAN) == value_sort_key(float("nan"))
+        assert legacy_order_key(NAN) == legacy_order_key(float("nan"))
+
+    def test_infinities_stay_ordinary_numbers(self):
+        assert value_sort_key(float("inf"))[0] == value_sort_key(0)[0]
+        assert value_sort_key(-float("inf")) < value_sort_key(0) < value_sort_key(
+            float("inf")
+        )
+
+    def test_legacy_key_is_a_total_order_over_mixed_values(self):
+        values = [2, NAN, None, "zebra", 7.5, NAN, "apple", None, -3, True]
+        baseline = [legacy_order_key(v) for v in sorted(values, key=legacy_order_key)]
+        rng = random.Random(5)
+        for _ in range(10):
+            shuffled = list(values)
+            rng.shuffle(shuffled)
+            resorted = [
+                legacy_order_key(v) for v in sorted(shuffled, key=legacy_order_key)
+            ]
+            assert resorted == baseline
+
+
+@pytest.mark.parametrize(
+    "engine_factory",
+    [
+        pytest.param(InterpreterBackend, id="interpreter"),
+        pytest.param(lambda: ColumnarBackend(optimize=True), id="columnar"),
+        pytest.param(
+            lambda: ColumnarBackend(optimize=True, vectorize=False),
+            id="columnar-python",
+        ),
+    ],
+)
+class TestEngineOrderByWithNaN:
+    """Same ID sequence on every engine, for every input permutation."""
+
+    def _ids(self, engine, values, text):
+        result = engine.execute(parse_dvq(text), _database(values))
+        return [row[0] for row in result.rows]
+
+    def test_order_by_ascending_is_deterministic(self, engine_factory):
+        text = "Visualize BAR SELECT READING_ID , VALUE FROM readings ORDER BY VALUE"
+        reference = self._ids(InterpreterBackend(), _ROWS, text)
+        engine = engine_factory()
+        for permutation in _permutations(_ROWS):
+            ids = self._ids(engine, permutation, text)
+            assert sorted(ids) == sorted(reference)
+            assert ids == reference
+
+    def test_top_k_cut_is_deterministic(self, engine_factory):
+        text = (
+            "Visualize BAR SELECT READING_ID , VALUE FROM readings "
+            "ORDER BY VALUE DESC LIMIT 4"
+        )
+        reference = self._ids(InterpreterBackend(), _ROWS, text)
+        engine = engine_factory()
+        assert len(reference) == 4
+        for permutation in _permutations(_ROWS):
+            assert self._ids(engine, permutation, text) == reference
+
+
+class TestNormalizeResultWithNaN:
+    def test_row_order_is_input_order_independent(self):
+        query = parse_dvq("Visualize BAR SELECT READING_ID , VALUE FROM readings")
+        baseline = None
+        rng = random.Random(3)
+        for _ in range(6):
+            shuffled = list(_ROWS)
+            rng.shuffle(shuffled)
+            result = normalize_result(
+                ExecutionResult(
+                    columns=["READING_ID", "VALUE"], rows=shuffled, chart_type="BAR"
+                ),
+                query,
+            )
+            ids = [row[0] for row in result.rows]
+            if baseline is None:
+                baseline = ids
+            assert ids == baseline
+
+    def test_nan_survives_normalisation_as_nan(self):
+        query = parse_dvq("Visualize BAR SELECT READING_ID , VALUE FROM readings")
+        result = normalize_result(
+            ExecutionResult(columns=["READING_ID", "VALUE"],
+                            rows=[(1, NAN)], chart_type="BAR"),
+            query,
+        )
+        assert math.isnan(result.rows[0][1])

@@ -3,13 +3,15 @@
 A seeded :class:`~repro.dvq.generate.RandomDVQGenerator` produces hundreds of
 queries from the portable DVQ subset — across chart types, aggregates,
 binning, joins, predicates and top-k — over randomly generated databases
-(with NULLs injected into non-key columns).  Every query must execute to an
-*identical* :class:`~repro.executor.executor.ExecutionResult` (columns, rows
-and row order after normalisation) on every engine, with the legacy
-row-at-a-time interpreter as the reference oracle.  The engine axis covers
-the full matrix the configuration knobs expose: the SQLite backend, and the
-columnar plan engine with the optimizer on and off (rule-by-rule ablations
-live in ``tests/test_plan.py``).
+(with NULLs injected into every non-primary-key column — including foreign
+keys, since all engines share SQL's NULL-join semantics).  Every query must
+execute to an *identical* :class:`~repro.executor.executor.ExecutionResult`
+(columns, rows and row order after normalisation) on every engine, with the
+legacy row-at-a-time interpreter as the reference oracle.  The engine axis
+covers the full matrix the configuration knobs expose: the SQLite backend,
+and the columnar plan engine with the optimizer on and off and with the
+NumPy kernels on (``columnar``) and off (``columnar-python``); rule-by-rule
+ablations live in ``tests/test_plan.py``.
 
 Run this suite alone with ``make test-diff`` (it is marked
 ``differential``).
@@ -39,7 +41,18 @@ ENGINE_FACTORIES = {
     "sqlite": SQLiteBackend,
     "columnar": lambda: ColumnarBackend(optimize=True),
     "columnar-noopt": lambda: ColumnarBackend(optimize=False),
+    "columnar-python": lambda: ColumnarBackend(optimize=True, vectorize=False),
 }
+
+
+def test_matrix_covers_the_vectorized_engine():
+    """The default columnar engine runs the NumPy kernels; the ``-python``
+    entry pins the scalar fallback path so both halves of every kernel's
+    decline contract stay under differential test."""
+    assert ColumnarBackend().vectorize
+    engines = {name: factory() for name, factory in ENGINE_FACTORIES.items()}
+    assert engines["columnar"].vectorize
+    assert not engines["columnar-python"].vectorize
 
 
 def _engine_params():
@@ -125,22 +138,18 @@ def _events_schema():
 
 
 def inject_nulls(database: Database, seed: int, fraction: float = 0.12) -> None:
-    """Null out a fraction of non-key values, seeded.
+    """Null out a fraction of non-primary-key values, seeded.
 
-    Primary-key and foreign-key columns are left intact: the interpreter
-    joins with Python equality where ``None == None`` is true, while SQL's
-    ``NULL = NULL`` is not — join keys are therefore outside the portable
-    subset for NULLs.
+    Foreign-key columns are deliberately *included*: every engine now
+    implements SQL join semantics where a NULL key never matches (not even
+    another NULL), so NULL join keys are inside the portable subset and the
+    corpus must exercise them.  Primary keys stay intact so FK references
+    remain resolvable.
     """
     rng = random.Random(seed)
-    protected = set()
-    for fk in database.schema.foreign_keys:
-        protected.add((fk.table.lower(), fk.column.lower()))
-        protected.add((fk.ref_table.lower(), fk.ref_column.lower()))
     for table in database.tables():
         for column in table.schema.columns:
-            key = (table.name.lower(), column.name.lower())
-            if column.is_primary or key in protected:
+            if column.is_primary:
                 continue
             for row in table.rows:
                 if rng.random() < fraction:

@@ -1,10 +1,12 @@
 """Fuzz-harness and minimizer tests, including injected-bug regressions.
 
 The minimizer regression tests monkeypatch
-``repro.executor.columnar.evaluate_condition`` — the columnar engine's
-module-level import binding — so only the columnar backends misbehave while
-the interpreter oracle stays correct.  Every injected mismatch must shrink
-to a <= 3-clause reproducer, deterministically per seed.
+``repro.executor.columnar.evaluate_condition`` *and*
+``evaluate_condition_vector`` — the columnar engine's module-level import
+bindings for the scalar and vectorized predicate paths — so only the
+columnar backends misbehave while the interpreter oracle stays correct.
+Every injected mismatch must shrink to a <= 3-clause reproducer,
+deterministically per seed.
 """
 
 from __future__ import annotations
@@ -36,23 +38,42 @@ def database():
     )
 
 
+@pytest.fixture(scope="module")
+def null_key_database():
+    """A workload database where a quarter of all foreign-key values are NULL."""
+    return build_workload_database(
+        SchemaGraphConfig(seed=13, table_count=6, topology="snowflake",
+                          name="fuzz_null_db"),
+        total_rows=2_000,
+        fk_null_fraction=0.25,
+    )
+
+
 @pytest.fixture
 def broken_less_than(monkeypatch):
     """Make the columnar engines treat ``<`` as ``<=`` (interpreter unaffected)."""
     real = columnar_module.evaluate_condition
+    real_vector = columnar_module.evaluate_condition_vector
+
+    def rewrite(condition):
+        if condition.operator != "<":
+            return condition
+        return Condition(
+            column=condition.column,
+            operator="<=",
+            value=condition.value,
+            value2=condition.value2,
+            negated=condition.negated,
+        )
 
     def buggy(condition, value, *args, **kwargs):
-        if condition.operator == "<":
-            condition = Condition(
-                column=condition.column,
-                operator="<=",
-                value=condition.value,
-                value2=condition.value2,
-                negated=condition.negated,
-            )
-        return real(condition, value, *args, **kwargs)
+        return real(rewrite(condition), value, *args, **kwargs)
+
+    def buggy_vector(condition, column, *args, **kwargs):
+        return real_vector(rewrite(condition), column, *args, **kwargs)
 
     monkeypatch.setattr(columnar_module, "evaluate_condition", buggy)
+    monkeypatch.setattr(columnar_module, "evaluate_condition_vector", buggy_vector)
 
 
 class TestCleanSweep:
@@ -61,7 +82,7 @@ class TestCleanSweep:
         assert report.ok, report.summary()
         assert report.total == 120
         assert report.category_counts == {"ok": 120}
-        assert report.comparisons == 360
+        assert report.comparisons == 480
 
     def test_non_portable_sweep_matches_failure_categories(self, database):
         report = fuzz_database(
@@ -92,13 +113,49 @@ class TestCleanSweep:
         assert "mismatches: 0" in report.summary()
 
 
+class TestNullKeyJoins:
+    """SQL NULL-join semantics, proved differentially over null-heavy keys."""
+
+    def test_fk_null_fraction_actually_nulls_join_keys(self, null_key_database):
+        fk = null_key_database.schema.foreign_keys[0]
+        table = null_key_database.table(fk.table)
+        column = table.canonical_column(fk.column)
+        nulls = sum(1 for row in table.rows if row[column] is None)
+        assert nulls > 0
+        assert nulls < len(table.rows)
+
+    def test_null_heavy_sweep_has_zero_mismatches(self, null_key_database):
+        """Every engine agrees a NULL key never matches — even another NULL.
+
+        This is the differential proof for the NULL-join fix: before it, the
+        interpreter's hash join matched ``None == None`` pairs while SQLite's
+        ``NULL = NULL`` did not, so any joined query over these keys
+        mismatched.
+        """
+        report = fuzz_database(
+            null_key_database, count=100, base_seed=0, max_workers=2
+        )
+        assert report.ok, report.summary()
+        assert report.category_counts == {"ok": 100}
+
+    def test_engine_matrix_covers_vectorized_and_scalar_columnar(self):
+        from repro.workload.fuzz import default_engine_matrix
+
+        matrix = default_engine_matrix()
+        assert matrix["columnar"].vectorize
+        assert not matrix["columnar-python"].vectorize
+        assert set(matrix) == {
+            "sqlite", "columnar", "columnar-noopt", "columnar-python"
+        }
+
+
 class TestInjectedBugRegression:
     def test_fuzzer_finds_and_minimizes_the_bug(self, database, broken_less_than):
         report = fuzz_database(database, count=150, base_seed=0, max_workers=1)
         assert not report.ok
         assert report.mismatches
         for mismatch in report.mismatches:
-            assert mismatch.engine in ("columnar", "columnar-noopt")
+            assert mismatch.engine in ("columnar", "columnar-noopt", "columnar-python")
             assert mismatch.kind == "rows"
             minimized = parse_dvq(mismatch.minimized_text)
             assert clause_count(minimized) <= 3, mismatch.minimized_text
