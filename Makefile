@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-diff bench bench-index bench-index-check bench-plan bench-plan-check bench-vector bench-vector-check bench-paper-scale fuzz fuzz-check quickstart lint
+.PHONY: test test-fast test-diff bench bench-index bench-index-check bench-plan bench-plan-check bench-vector bench-vector-check bench-aqp bench-aqp-check bench-paper-scale fuzz fuzz-check quickstart lint
 
 test:            ## tier-1 suite (tests/ + benchmarks/, fail fast)
 	$(PYTHON) -m pytest -x -q
@@ -35,6 +35,12 @@ bench-vector:    ## vectorized-kernel benchmark: >=10x bar over the scalar colum
 
 bench-vector-check: ## vector benchmark correctness assertions only (no timing bar; used by CI)
 	$(PYTHON) -m pytest benchmarks -q -m vector -k "not throughput"
+
+bench-aqp:       ## AQP benchmark: >=10x bar over exact columnar at 1M rows, errors <=5% (-m aqp)
+	$(PYTHON) -m pytest benchmarks -q -s -m aqp
+
+bench-aqp-check: ## AQP benchmark correctness assertions only (no timing bar; used by CI)
+	$(PYTHON) -m pytest benchmarks -q -m aqp -k "not at_least_10x"
 
 bench-paper-scale: ## benchmarks at the paper's full corpus scale (slow)
 	$(PYTHON) -m pytest benchmarks -q -s --paper-scale

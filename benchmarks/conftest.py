@@ -10,10 +10,17 @@ size.
 from __future__ import annotations
 
 import gc
+import json
+import pathlib
 
 import pytest
 
 from repro.experiments import Workbench, WorkbenchConfig
+
+#: Machine-readable bench results land next to this file as
+#: ``BENCH_<name>.json`` (git-ignored), one per throughput module, so runs
+#: can be diffed across commits without scraping pytest stdout.
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
 
 
 @pytest.fixture(autouse=True)
@@ -27,6 +34,34 @@ def _collect_before_timing():
     """
     gc.collect()
     yield
+
+
+@pytest.fixture
+def bench_report(request):
+    """A callable writing this module's ``BENCH_<name>.json`` result file.
+
+    The name is the module's ``test_<name>_throughput`` stem, so
+    ``test_plan_throughput.py`` writes ``BENCH_plan.json``.  Call it with
+    the headline numbers (``speedup=``, ``rows=``, ``timings={label:
+    seconds}``, anything JSON-serialisable); repeated calls from one module
+    merge into the same file, so multi-test modules accumulate one report.
+    """
+
+    def write(**payload) -> pathlib.Path:
+        stem = request.module.__name__.rsplit(".", 1)[-1]
+        name = stem.removeprefix("test_").removesuffix("_throughput")
+        path = BENCH_DIR / f"BENCH_{name}.json"
+        merged = {}
+        if path.exists():
+            try:
+                merged = json.loads(path.read_text())
+            except ValueError:
+                merged = {}
+        merged.update(payload)
+        path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+        return path
+
+    return write
 
 
 def pytest_addoption(parser):

@@ -1,0 +1,212 @@
+"""Approximate-query-processing throughput — sampled vs exact columnar.
+
+This benchmark is the perf acceptance bar for the AQP path
+(:mod:`repro.plan.sampling` + ``ColumnarBackend(approximate=True)``).  A
+1M-row sales fact table is built deterministically; an aggregate/bin chart
+workload (COUNT / SUM / AVG, group-by and date binning, with and without
+filters and a dimension join) is then executed exactly and from the
+precomputed 5% row samples, and the wall-clock speed-up recorded.
+
+The acceptance bar is a >= 10x end-to-end speed-up with every observed
+per-group relative error <= 5% — far inside the reported 3-sigma CLT bounds
+(attached to each result as
+:class:`~repro.plan.sampling.ApproximationInfo`), and visually
+indistinguishable on a chart.  Group-by-category queries ride the keyed
+(stratified) sample, so no bar ever disappears and plain per-category
+COUNTs are exact; binned and joined queries ride the uniform sample.
+
+Timing protocol: one untimed warm-up pass per backend builds the shared
+caches (typed stores, per-column statistics, the row samples), then each
+backend takes the best of three passes — the steady state an interactive
+chart session actually sees.
+
+Run alone with ``make bench-aqp`` (marker: ``aqp``); CI runs the
+correctness half via ``make bench-aqp-check``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.database.database import Database
+from repro.database.schema import ColumnType, build_schema
+from repro.dvq import parse_dvq
+from repro.executor import ColumnarBackend
+
+pytestmark = pytest.mark.aqp
+
+FACT_ROWS = 1_000_000
+DIM_ROWS = 8
+#: Scale of the correctness half — above the AQP rewrite's
+#: ``min_table_rows`` floor but cheap enough for CI.
+CHECK_ROWS = 40_000
+
+#: Every query is AQP-eligible: COUNT/SUM/AVG over groups or bins, no top-k.
+QUERIES = [
+    "Visualize BAR SELECT CATEGORY , COUNT(*) FROM sales GROUP BY CATEGORY",
+    "Visualize BAR SELECT CATEGORY , SUM(AMOUNT) FROM sales GROUP BY CATEGORY",
+    "Visualize BAR SELECT CATEGORY , AVG(AMOUNT) FROM sales GROUP BY CATEGORY",
+    "Visualize LINE SELECT SOLD_AT , COUNT(*) FROM sales BIN SOLD_AT BY YEAR",
+    "Visualize BAR SELECT CATEGORY , COUNT(*) FROM sales "
+    "WHERE AMOUNT > 2000 GROUP BY CATEGORY",
+    "Visualize BAR SELECT REGION_NAME , AVG(AMOUNT) FROM sales AS T1 "
+    "JOIN regions AS T2 ON T1.REGION_ID = T2.REGION_ID GROUP BY REGION_NAME",
+]
+
+#: Queries the rewrite must decline (extremes / top-k), silently running exact.
+INELIGIBLE_QUERIES = [
+    "Visualize BAR SELECT CATEGORY , MAX(AMOUNT) FROM sales GROUP BY CATEGORY",
+    "Visualize BAR SELECT CATEGORY , COUNT(*) FROM sales "
+    "GROUP BY CATEGORY ORDER BY COUNT(*) DESC LIMIT 3",
+    "Visualize BAR SELECT CATEGORY , COUNT(DISTINCT AMOUNT) FROM sales "
+    "GROUP BY CATEGORY",
+]
+
+_CATEGORIES = [
+    "Grocery", "Clothing", "Garden", "Toys", "Media", "Sports", "Office", "Auto",
+]
+
+
+def _bench_database(fact_rows: int) -> Database:
+    schema = build_schema(
+        "aqp_bench",
+        [
+            (
+                "sales",
+                [
+                    ("SALE_ID", ColumnType.NUMBER, "id"),
+                    ("AMOUNT", ColumnType.NUMBER, "price"),
+                    ("CATEGORY", ColumnType.TEXT, "category"),
+                    ("SOLD_AT", ColumnType.DATE, "date"),
+                    ("REGION_ID", ColumnType.NUMBER, "id"),
+                ],
+            ),
+            (
+                "regions",
+                [
+                    ("REGION_ID", ColumnType.NUMBER, "id"),
+                    ("REGION_NAME", ColumnType.TEXT, "region"),
+                ],
+            ),
+        ],
+        foreign_keys=[("sales", "REGION_ID", "regions", "REGION_ID")],
+    )
+    rng = random.Random(31)
+    regions = [
+        {"REGION_ID": index + 1, "REGION_NAME": f"Region {index + 1}"}
+        for index in range(DIM_ROWS)
+    ]
+    sales = [
+        {
+            "SALE_ID": index + 1,
+            "AMOUNT": rng.randint(100, 10_000),
+            "CATEGORY": rng.choice(_CATEGORIES),
+            "SOLD_AT": f"{rng.randint(2016, 2023):04d}-{rng.randint(1, 12):02d}-"
+            f"{rng.randint(1, 28):02d}",
+            "REGION_ID": rng.randint(1, DIM_ROWS),
+        }
+        for index in range(fact_rows)
+    ]
+    database = Database.from_rows(schema, {"regions": regions, "sales": sales})
+    for table in database.tables():
+        table.typed_store()
+    return database
+
+
+def _timed(backend, queries, database):
+    results = []
+    started = time.perf_counter()
+    for query in queries:
+        results.append(backend.execute(query, database))
+    return time.perf_counter() - started, results
+
+
+def _relative_errors(exact, approximate):
+    """Per-group relative errors of every numeric aggregate column."""
+    errors = []
+    exact_by_key = {row[0]: row for row in exact.rows}
+    assert len(approximate.rows) == len(exact.rows), "a group went missing"
+    for row in approximate.rows:
+        exact_row = exact_by_key[row[0]]
+        for value, truth in zip(row[1:], exact_row[1:]):
+            if isinstance(truth, (int, float)) and truth:
+                errors.append(abs(value - truth) / abs(truth))
+    return errors
+
+
+def test_aqp_results_stay_within_reported_bounds():
+    """Correctness half (CI-safe): bounded errors, exactness on declines."""
+    database = _bench_database(CHECK_ROWS)
+    exact = ColumnarBackend()
+    approximate = ColumnarBackend(approximate=True)
+
+    for text in QUERIES:
+        query = parse_dvq(text)
+        truth = exact.execute(query, database)
+        sampled = approximate.execute(query, database)
+        info = sampled.approximation
+        assert info is not None, f"rewrite unexpectedly declined: {text}"
+        assert sampled.columns == truth.columns
+        errors = _relative_errors(truth, sampled)
+        worst = max(errors, default=0.0)
+        assert worst <= max(info.max_relative_error, 1e-9), (
+            f"observed error {worst:.4f} above reported bound "
+            f"{info.max_relative_error:.4f}: {text}"
+        )
+
+    for text in INELIGIBLE_QUERIES:
+        query = parse_dvq(text)
+        truth = exact.execute(query, database)
+        sampled = approximate.execute(query, database)
+        assert sampled.approximation is None, f"must decline to exact: {text}"
+        assert sampled.rows == truth.rows, text
+
+
+def test_aqp_throughput_is_at_least_10x_on_1m_row_aggregates(bench_report):
+    """Timing half: >= 10x over exact columnar at 1M rows, errors <= 5%."""
+    database = _bench_database(FACT_ROWS)
+    queries = [parse_dvq(text) for text in QUERIES]
+
+    exact = ColumnarBackend()
+    approximate = ColumnarBackend(approximate=True)
+
+    # untimed warm-up: builds the typed stores' lowered shadows, the
+    # per-column statistics and the row samples every later pass shares
+    _, expected = _timed(exact, queries, database)
+    _timed(approximate, queries, database)
+
+    exact_seconds = min(_timed(exact, queries, database)[0] for _ in range(3))
+    approx_seconds, results = min(
+        (_timed(approximate, queries, database) for _ in range(3)),
+        key=lambda pair: pair[0],
+    )
+
+    worst_error = 0.0
+    for text, truth, sampled in zip(QUERIES, expected, results):
+        assert sampled.approximation is not None, text
+        errors = _relative_errors(truth, sampled)
+        worst_error = max(worst_error, max(errors, default=0.0))
+
+    speedup = exact_seconds / approx_seconds
+    print(
+        f"\nAQP throughput over {len(queries)} aggregate/bin queries "
+        f"({FACT_ROWS:,}-row fact table, 5% samples):"
+    )
+    print(f"  exact columnar:   {exact_seconds * 1e3:.1f} ms")
+    print(f"  sampled columnar: {approx_seconds * 1e3:.1f} ms  ({speedup:.1f}x)")
+    print(f"  worst observed relative error: {worst_error:.4f}")
+
+    bench_report(
+        speedup=speedup,
+        rows=FACT_ROWS,
+        queries=len(queries),
+        worst_relative_error=worst_error,
+        timings={"exact": exact_seconds, "approximate": approx_seconds},
+    )
+
+    # the acceptance bar: instant charts with visually exact values
+    assert speedup >= 10.0, f"AQP only {speedup:.2f}x faster than exact columnar"
+    assert worst_error <= 0.05, f"observed relative error {worst_error:.4f} > 5%"

@@ -109,7 +109,7 @@ def test_partitioned_results_identical_across_worker_counts(library):
     ]
 
 
-def test_partitioned_throughput_vs_exact(library):
+def test_partitioned_throughput_vs_exact(library, bench_report):
     exact, partitioned, queries = library
     exact.search_matrix(queries[:8], TOP_K)  # warm both paths
     partitioned.search_matrix(queries[:8], TOP_K)
@@ -135,6 +135,13 @@ def test_partitioned_throughput_vs_exact(library):
         f"  partitioned: {partitioned_seconds:.3f}s ({QUERY_COUNT / partitioned_seconds:,.0f} q/s, "
         f"{SEARCH_WORKERS} workers)\n"
         f"  speedup: {speedup:.1f}x at recall@{TOP_K} {recall:.3f}"
+    )
+    bench_report(
+        speedup=speedup,
+        rows=LIBRARY_SIZE,
+        queries=QUERY_COUNT,
+        recall=recall,
+        timings={"exact": exact_seconds, "partitioned": partitioned_seconds},
     )
     # the acceptance bar: a solid throughput win without giving up recall
     assert recall >= MIN_RECALL

@@ -130,7 +130,7 @@ def test_plan_engine_matches_legacy_interpreter_on_the_bench_workload():
         _assert_identical(expected, actual, label)
 
 
-def test_plan_engine_throughput_is_at_least_3x_on_50k_row_join():
+def test_plan_engine_throughput_is_at_least_3x_on_50k_row_join(bench_report):
     """Timing half: >= 3x over the legacy interpreter, ablations reported."""
     database = _bench_database()
     queries = [parse_dvq(text) for text in QUERIES]
@@ -170,6 +170,13 @@ def test_plan_engine_throughput_is_at_least_3x_on_50k_row_join():
             f"  {label}:".ljust(34)
             + f"{seconds:.2f}s  ({interpreter_seconds / seconds:.1f}x)"
         )
+
+    bench_report(
+        speedup=speedup,
+        rows=FACT_ROWS,
+        queries=len(queries),
+        timings={label: seconds for label, seconds in rows},
+    )
 
     # the acceptance bar: the repair loop and evaluation runs ride this engine
     assert speedup >= 3.0, f"columnar engine only {speedup:.2f}x faster than the interpreter"

@@ -35,7 +35,7 @@ def _prepared_gred(llm) -> tuple:
     return model, dataset
 
 
-def test_batched_throughput_vs_serial():
+def test_batched_throughput_vs_serial(bench_report):
     llm = LatencyChatModel(SimulatedChatModel(), seconds_per_call=LATENCY_SECONDS)
     model, dataset = _prepared_gred(llm)
     examples = dataset.test[:EXAMPLE_COUNT]
@@ -59,6 +59,15 @@ def test_batched_throughput_vs_serial():
     print(format_stage_table(aggregate_stage_timings(
         trace.timings for trace in batched_report.values()
     )))
+
+    bench_report(
+        speedup=speedup,
+        rows=len(examples),
+        timings={
+            "serial": serial_report.wall_seconds,
+            "batched": batched_report.wall_seconds,
+        },
+    )
 
     # identical traces, regardless of worker count (GREDTrace equality ignores timings)
     assert batched_report.values() == serial_report.values()

@@ -62,7 +62,7 @@ def _timed(backend, queries, database):
     return time.perf_counter() - started, results
 
 
-def test_sqlite_backend_is_at_least_2x_faster_on_50k_rows():
+def test_sqlite_backend_is_at_least_2x_faster_on_50k_rows(bench_report):
     database = _sales_database()
     queries = [parse_dvq(text) for text in QUERIES]
     interpreter = InterpreterBackend()
@@ -86,6 +86,17 @@ def test_sqlite_backend_is_at_least_2x_faster_on_50k_rows():
     print(f"  interpreter:          {interpreter_seconds:.2f}s")
     print(f"  sqlite (incl. load):  {sqlite_seconds:.2f}s  ({speedup:.1f}x)")
     print(f"  sqlite (warm cache):  {warm_seconds:.3f}s  ({warm_speedup:.0f}x)")
+
+    bench_report(
+        speedup=speedup,
+        rows=ROW_COUNT,
+        queries=len(queries),
+        timings={
+            "interpreter": interpreter_seconds,
+            "sqlite_with_load": sqlite_seconds,
+            "sqlite_warm": warm_seconds,
+        },
+    )
 
     # the acceptance bar: >= 2x even when paying the bulk load
     assert speedup >= 2.0, f"sqlite backend only {speedup:.2f}x faster than the interpreter"

@@ -157,7 +157,7 @@ def test_vector_engine_matches_the_interpreter_on_the_bench_workload():
         _assert_identical(expected, actual, label)
 
 
-def test_vector_engine_throughput_is_at_least_10x_on_1m_row_join():
+def test_vector_engine_throughput_is_at_least_10x_on_1m_row_join(bench_report):
     """Timing half: >= 10x over the scalar columnar engine at 1M rows."""
     database = _bench_database(FACT_ROWS)
     queries = [parse_dvq(text) for text in QUERIES]
@@ -188,6 +188,17 @@ def test_vector_engine_throughput_is_at_least_10x_on_1m_row_join():
             f"  {label}:".ljust(40)
             + f"{seconds:.2f}s  ({scalar_seconds / seconds:.1f}x)"
         )
+
+    bench_report(
+        speedup=speedup,
+        rows=FACT_ROWS,
+        queries=len(queries),
+        timings={
+            "scalar": scalar_seconds,
+            "vectorized": vector_seconds,
+            "vectorized_morsels": morsel_seconds,
+        },
+    )
 
     assert speedup >= 10.0, (
         f"vectorized kernels only {speedup:.2f}x faster than the scalar engine"

@@ -54,6 +54,14 @@ class GREDConfig:
             before executing on the columnar backend.  On by default; turn
             off only for optimizer ablations — results are identical either
             way.  Ignored by the other backends.
+        approximate_execution: enable sampling-based approximate query
+            processing on the columnar backend: eligible aggregate/bin
+            queries are answered from a precomputed seeded row sample with
+            scale-up and CLT error bounds (see :mod:`repro.plan.sampling`),
+            making large-table charts near-instant.  Ineligible queries
+            (MIN/MAX/DISTINCT, top-k, small tables) silently run exact.
+            Off by default because repair loops and metrics expect exact
+            rows.  Ignored by the other backends.
         index: retrieval-index configuration for the NLQ/DVQ libraries
             (:class:`~repro.index.IndexConfig`): the search backend
             (``"exact"`` brute force — the default — or ``"partitioned"``
@@ -81,6 +89,7 @@ class GREDConfig:
     verify_execution: bool = False
     execution_backend: str = "columnar"
     optimize_plans: bool = True
+    approximate_execution: bool = False
     index: IndexConfig = field(default_factory=IndexConfig)
     max_repair_rounds: int = 0
 

@@ -176,7 +176,11 @@ class GRED(TextToVisModel):
         self.retuner: Optional[DVQRetrievalRetuner] = None
         self.debugger: Optional[AnnotationBasedDebugger] = None
         self.execution_backend: Optional[ExecutionBackend] = (
-            resolve_backend(config.execution_backend, optimize=config.optimize_plans)
+            resolve_backend(
+                config.execution_backend,
+                optimize=config.optimize_plans,
+                approximate=config.approximate_execution,
+            )
             if config.verify_execution or config.max_repair_rounds > 0
             else None
         )

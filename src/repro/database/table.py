@@ -3,10 +3,18 @@
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.database.schema import TableSchema
+from repro.database.statistics import (
+    ColumnStatistics,
+    TableStatistics,
+    fast_column_statistics,
+)
 from repro.database.typed import TypedColumn, build_typed_column
+
+if TYPE_CHECKING:  # pragma: no cover - sampling imports Table for hints only
+    from repro.database.sampling import TableSample
 
 
 class Table:
@@ -23,6 +31,11 @@ class Table:
         self._name_map = schema.lower_map()
         self._column_store: Optional[Dict[str, List[object]]] = None
         self._typed_store: Optional[Dict[str, TypedColumn]] = None
+        self._column_statistics: Dict[str, ColumnStatistics] = {}
+        self._statistics: Optional[TableStatistics] = None
+        self._samples: Dict[
+            Tuple[str, Optional[str], float, int], Optional["TableSample"]
+        ] = {}
         # Guards cache build/invalidate: morsel workers sharing one Table can
         # otherwise race a half-built store against refresh_columns()/insert().
         # Reentrant because typed_store() builds from column_store() under it.
@@ -67,6 +80,9 @@ class Table:
         with self._store_lock:
             self._column_store = None
             self._typed_store = None
+            self._column_statistics.clear()
+            self._statistics = None
+            self._samples.clear()
 
     def extend(self, rows: Iterable[Dict[str, object]]) -> None:
         for row in rows:
@@ -121,11 +137,83 @@ class Table:
                     self._typed_store = store
         return store
 
+    def column_statistics(self, name: str) -> ColumnStatistics:
+        """Optimizer statistics for one column, computed lazily and cached.
+
+        Backed by :func:`repro.database.statistics.fast_column_statistics`
+        (NumPy path for clean number columns, exact path otherwise), under
+        the same lock discipline as :meth:`column_store`; :meth:`insert` and
+        :meth:`refresh_columns` invalidate the cache.  Laziness matters: a
+        query plan only pays for statistics on the columns it references.
+        """
+        canonical = self.canonical_column(name)
+        cached = self._column_statistics.get(canonical)
+        if cached is None:
+            with self._store_lock:
+                cached = self._column_statistics.get(canonical)
+                if cached is None:
+                    cached = fast_column_statistics(self, canonical)
+                    self._column_statistics[canonical] = cached
+        return cached
+
+    def statistics(self) -> TableStatistics:
+        """Full :class:`TableStatistics` (all columns), cached and
+        insert-invalidated next to :meth:`column_store` / :meth:`typed_store`.
+
+        Prefer :meth:`column_statistics` inside the optimizer — it only pays
+        for referenced columns; this accessor summarises every column (each
+        per-column summary lands in the shared cache either way).
+        """
+        stats = self._statistics
+        if stats is None:
+            with self._store_lock:
+                stats = self._statistics
+                if stats is None:
+                    columns = {
+                        column.name.lower(): self.column_statistics(column.name)
+                        for column in self.schema.columns
+                    }
+                    stats = TableStatistics(
+                        name=self.name, row_count=len(self._rows), columns=columns
+                    )
+                    self._statistics = stats
+        return stats
+
+    def sample(
+        self,
+        kind: str = "uniform",
+        key: Optional[str] = None,
+        fraction: float = 0.05,
+        seed: int = 0,
+    ) -> Optional["TableSample"]:
+        """A precomputed seeded row sample (see :mod:`repro.database.sampling`).
+
+        Cached by ``(kind, key, fraction, seed)`` under the store lock and
+        invalidated by :meth:`insert` / :meth:`refresh_columns`, so the AQP
+        path pays the permutation cost once per table per sample shape.
+        Returns ``None`` when a keyed sample declines (too many strata); the
+        decline is cached too.
+        """
+        from repro.database.sampling import build_table_sample
+
+        canonical = self.canonical_column(key) if key is not None else None
+        cache_key = (kind, canonical, fraction, seed)
+        if cache_key not in self._samples:
+            with self._store_lock:
+                if cache_key not in self._samples:
+                    self._samples[cache_key] = build_table_sample(
+                        self, kind=kind, key=canonical, fraction=fraction, seed=seed
+                    )
+        return self._samples[cache_key]
+
     def refresh_columns(self) -> None:
         """Drop the cached columnar views (call after in-place row mutation)."""
         with self._store_lock:
             self._column_store = None
             self._typed_store = None
+            self._column_statistics.clear()
+            self._statistics = None
+            self._samples.clear()
 
     def distinct_values(self, name: str) -> List[object]:
         """Distinct non-null values of a column, preserving first-seen order."""

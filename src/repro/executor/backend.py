@@ -189,7 +189,10 @@ def normalize_result(result: ExecutionResult, query: DVQuery) -> ExecutionResult
     ]
     rows = canonical_order(rows, query)
     return ExecutionResult(
-        columns=list(result.columns), rows=rows, chart_type=result.chart_type
+        columns=list(result.columns),
+        rows=rows,
+        chart_type=result.chart_type,
+        approximation=result.approximation,
     )
 
 
@@ -229,28 +232,47 @@ class InterpreterBackend:
 BackendSpec = Union[str, ExecutionBackend]
 
 
-def resolve_backend(spec: BackendSpec, optimize: bool = True) -> ExecutionBackend:
+def resolve_backend(
+    spec: BackendSpec, optimize: bool = True, approximate: bool = False
+) -> ExecutionBackend:
     """Turn a backend name into an instance.
 
-    Accepted names: ``"columnar"`` (the plan-driven columnar engine — the
-    default everywhere), ``"interpreter"`` (the legacy row-at-a-time
-    reference engine) and ``"sqlite"`` (the DVQ->SQL compiler over SQLite).
-    ``optimize`` toggles the plan optimizer and only affects the columnar
-    backend.  Backend instances pass through unchanged, so callers can hand
-    in a pre-configured (and pre-warmed) backend.  The SQLite and columnar
-    backends are imported lazily to keep this module light.
+    Accepted names: ``"columnar"`` (the plan-driven columnar engine with
+    cost-based optimization — the default everywhere), ``"columnar-rules"``
+    (the columnar engine with only the rule-based rewrites, no statistics),
+    ``"columnar-python"`` (columnar with the vectorized kernels disabled),
+    ``"columnar-approx"`` (columnar with the sampling-based approximate path
+    enabled), ``"interpreter"`` (the legacy row-at-a-time reference engine)
+    and ``"sqlite"`` (the DVQ->SQL compiler over SQLite).  ``optimize``
+    toggles the plan optimizer and ``approximate`` the AQP rewrite; both only
+    affect the columnar backends.  Backend instances pass through unchanged,
+    so callers can hand in a pre-configured (and pre-warmed) backend.  The
+    SQLite and columnar backends are imported lazily to keep this module
+    light.
     """
     if not isinstance(spec, str):
         return spec
     name = spec.strip().lower()
-    if name == "columnar":
+    if name in ("columnar", "columnar-cbo"):
         from repro.executor.columnar import ColumnarBackend
 
-        return ColumnarBackend(optimize=optimize)
+        return ColumnarBackend(optimize=optimize, approximate=approximate)
+    if name == "columnar-rules":
+        from repro.executor.columnar import ColumnarBackend
+
+        return ColumnarBackend(
+            optimize=optimize, cost_based=False, approximate=approximate
+        )
     if name == "columnar-python":
         from repro.executor.columnar import ColumnarBackend
 
-        return ColumnarBackend(optimize=optimize, vectorize=False)
+        return ColumnarBackend(
+            optimize=optimize, vectorize=False, approximate=approximate
+        )
+    if name == "columnar-approx":
+        from repro.executor.columnar import ColumnarBackend
+
+        return ColumnarBackend(optimize=optimize, approximate=True)
     if name == "interpreter":
         return InterpreterBackend()
     if name == "sqlite":
@@ -258,6 +280,7 @@ def resolve_backend(spec: BackendSpec, optimize: bool = True) -> ExecutionBacken
 
         return SQLiteBackend()
     raise ValueError(
-        f"Unknown execution backend {spec!r}; "
-        "expected 'columnar', 'columnar-python', 'interpreter' or 'sqlite'"
+        f"Unknown execution backend {spec!r}; expected 'columnar', "
+        "'columnar-cbo', 'columnar-rules', 'columnar-python', "
+        "'columnar-approx', 'interpreter' or 'sqlite'"
     )

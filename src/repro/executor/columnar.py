@@ -36,7 +36,7 @@ results are independent of worker count.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -75,12 +75,16 @@ from repro.plan.nodes import (
     PlanNode,
     Predicate,
     Project,
+    Sample,
     Scan,
     Sort,
     output_labels,
 )
 from repro.plan.optimizer import OptimizerConfig, optimize
 from repro.runtime.runner import BatchRunner
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.plan.sampling import SamplingConfig
 
 #: Batch key of the derived bin-label column (cannot collide with a scan key,
 #: whose first element is a table's effective name).
@@ -191,8 +195,8 @@ class _Batch:
 
 
 def _scan_of(node: PlanNode) -> Scan:
-    """The base scan under a join input (skipping pushed-down filters)."""
-    while isinstance(node, Filter):
+    """The base scan under a join input (skipping filters and samples)."""
+    while isinstance(node, (Filter, Sample)):
         node = node.child
     assert isinstance(node, Scan), f"join input is not a scan: {type(node).__name__}"
     return node
@@ -407,6 +411,8 @@ class ColumnarEngine:
     def _batch(self, node: PlanNode, database: Database) -> _Batch:
         if isinstance(node, Scan):
             return self._scan(node, database)
+        if isinstance(node, Sample):
+            return self._sample(node, database)
         if isinstance(node, Filter):
             return self._filter(node, database)
         if isinstance(node, Join):
@@ -424,6 +430,23 @@ class ColumnarEngine:
             for name in node.columns
         }
         return _Batch(len(table), columns)
+
+    def _sample(self, node: Sample, database: Database) -> _Batch:
+        """Restrict the child scan to the table's precomputed row sample.
+
+        The sorted sample row ids become the batch's (lazy) selection, so no
+        column is gathered until an operator reads it.  A keyed sample that
+        declined at build time degrades to the full scan — the AQP rewriter
+        checks buildability up front, so this is a correctness backstop, not
+        an expected path.
+        """
+        batch = self._batch(node.child, database)
+        sample = database.table(node.table).sample(
+            kind=node.kind, key=node.key, fraction=node.fraction, seed=node.seed
+        )
+        if sample is None:
+            return batch
+        return batch.take(sample.indices)
 
     def _bin(self, node: Bin, database: Database) -> _Batch:
         batch = self._batch(node.child, database)
@@ -517,12 +540,29 @@ class ColumnarEngine:
             return self._empty_join(left, right)
         build_column = build_holder.get()
         indices: Optional[Tuple[np.ndarray, np.ndarray]] = None
-        if self.vectorize:
-            indices = _vector_join_indices(probe_column, build_column)
-        if indices is None:
-            indices = _scalar_join_indices(
-                probe_column.objects, build_column.objects, node.strategy == HASH
-            )
+        if node.build_side == "left":
+            # cost-based flip: build on the (estimated smaller) left input and
+            # probe with the right.  The kernels emit probe-major pairs, so a
+            # flipped build comes back right-major; the stable argsort below
+            # restores the canonical order — left-major with build rows
+            # ascending within each probe row — making the flip invisible in
+            # results (each probe row's matches were already ascending).
+            if self.vectorize:
+                indices = _vector_join_indices(build_column, probe_column)
+            if indices is None:
+                indices = _scalar_join_indices(
+                    build_column.objects, probe_column.objects, node.strategy == HASH
+                )
+            right_indices, left_indices = indices
+            order = np.argsort(left_indices, kind="stable")
+            indices = (left_indices[order], right_indices[order])
+        else:
+            if self.vectorize:
+                indices = _vector_join_indices(probe_column, build_column)
+            if indices is None:
+                indices = _scalar_join_indices(
+                    probe_column.objects, build_column.objects, node.strategy == HASH
+                )
         left_indices, right_indices = indices
         left = left.take(left_indices)
         right = right.take(right_indices)
@@ -670,6 +710,17 @@ class ColumnarBackend:
             (the ``"columnar-python"`` entry of the differential matrix).
         max_workers: morsel-scan thread-pool width (1 = serial).
         morsel_size: rows per morsel for parallel scans.
+        cost_based: feed table statistics into the optimizer so the
+            cost-based rules (join-order enumeration, build-side selection,
+            filter-cascade ordering) apply.  Off = the rule-based-only
+            rewrites of the pre-statistics engine; results are identical
+            either way.
+        approximate: try the sampling-based AQP rewrite
+            (:mod:`repro.plan.sampling`) first for eligible aggregate
+            queries, answering from a precomputed sample with scale-up and
+            error bounds; ineligible queries silently run exact.
+        sampling_config: AQP knobs (sample fraction, seed, decline
+            thresholds) when ``approximate`` is on.
     """
 
     name = "columnar"
@@ -683,6 +734,9 @@ class ColumnarBackend:
         vectorize: bool = True,
         max_workers: int = 1,
         morsel_size: int = DEFAULT_MORSEL_SIZE,
+        cost_based: bool = True,
+        approximate: bool = False,
+        sampling_config: Optional["SamplingConfig"] = None,
     ):
         self._engine = ColumnarEngine(
             bin_interval=bin_interval,
@@ -693,6 +747,9 @@ class ColumnarBackend:
         self.normalize = normalize
         self.optimize = optimize
         self.optimizer_config = optimizer_config or OptimizerConfig()
+        self.cost_based = cost_based
+        self.approximate = approximate
+        self.sampling_config = sampling_config
 
     @property
     def vectorize(self) -> bool:
@@ -706,7 +763,12 @@ class ColumnarBackend:
 
         plan = plan_query(query, database.schema)
         if self.optimize:
-            plan = optimize(plan, self.optimizer_config)
+            statistics = None
+            if self.cost_based:
+                from repro.plan.cost import CostModel
+
+                statistics = CostModel(database)
+            plan = optimize(plan, self.optimizer_config, statistics=statistics)
         return plan
 
     def execute(self, query: DVQuery, database: Database) -> ExecutionResult:
@@ -718,11 +780,38 @@ class ColumnarBackend:
                 categories as every backend.
         """
         plan = self.plan(query, database)
+        if self.approximate:
+            result = self._execute_approximate(plan, query, database)
+            if result is not None:
+                return result
         rows = self._engine.run(plan, database)
         result = ExecutionResult(
             columns=list(output_labels(plan)),
             rows=rows,
             chart_type=query.chart_type.value,
+        )
+        if self.normalize:
+            result = normalize_result(result, query)
+        return result
+
+    def _execute_approximate(
+        self, plan: PlanNode, query: DVQuery, database: Database
+    ) -> Optional[ExecutionResult]:
+        """Run the AQP path, or ``None`` when the rewrite declines to exact."""
+        from repro.plan.sampling import DEFAULT_SAMPLING, rewrite_with_sampling
+
+        rewrite = rewrite_with_sampling(
+            plan, database, self.sampling_config or DEFAULT_SAMPLING
+        )
+        if rewrite is None:
+            return None
+        raw = self._engine.run(rewrite.plan, database)
+        rows, approximation = rewrite.finish(raw)
+        result = ExecutionResult(
+            columns=list(rewrite.labels),
+            rows=rows,
+            chart_type=query.chart_type.value,
+            approximation=approximation,
         )
         if self.normalize:
             result = normalize_result(result, query)

@@ -3,9 +3,12 @@
 The scalar functions define the semantics; :func:`grouped_aggregate_vector`
 computes one aggregate for *every* group at once from a typed column plus a
 group-id array, or returns ``None`` to decline when array arithmetic cannot
-reproduce the scalar path exactly (mixed-type columns, NaN, DISTINCT
-SUM/AVG whose float accumulation order depends on set iteration order, text
-columns whose values coerce through ``float`` individually).
+reproduce the scalar path (mixed-type columns, NaN, text columns whose
+values coerce through ``float`` individually).  Every vectorized aggregate
+is bit-for-bit identical to its scalar counterpart except DISTINCT SUM/AVG,
+which accumulates the same distinct-float multiset in ascending rather than
+set-iteration order — identical after the cross-engine 9-decimal
+normalisation every backend applies.
 """
 
 from __future__ import annotations
@@ -127,6 +130,40 @@ def _grouped_sum_avg(
     ]
 
 
+def _grouped_distinct_sum_avg(
+    name: str, column: TypedColumn, gid: np.ndarray, group_count: int
+) -> List[Optional[float]]:
+    # dedupe (group, value) pairs exactly like _grouped_count's distinct
+    # branch, then accumulate the survivors.  The scalar path sums a Python
+    # set in iteration order; here unique values add in ascending order —
+    # the same float multiset, so the results agree after the cross-engine
+    # 9-decimal normalisation (the one aggregate where "identical" is
+    # post-normalisation rather than bit-for-bit)
+    result: List[Optional[float]] = [None] * group_count
+    valid = ~column.mask
+    groups = gid[valid]
+    if groups.size == 0:
+        return result
+    values = column.data[valid]
+    order = np.lexsort((values, groups))
+    sorted_groups = groups[order]
+    sorted_values = values[order]
+    keep = np.ones(sorted_groups.size, dtype=bool)
+    keep[1:] = (sorted_groups[1:] != sorted_groups[:-1]) | (
+        sorted_values[1:] != sorted_values[:-1]
+    )
+    distinct_groups = sorted_groups[keep]
+    distinct_values = sorted_values[keep]
+    sums = np.bincount(distinct_groups, weights=distinct_values, minlength=group_count)
+    counts = np.bincount(distinct_groups, minlength=group_count)
+    if name == "SUM":
+        return [float(sums[g]) if counts[g] else None for g in range(group_count)]
+    return [
+        float(sums[g]) / int(counts[g]) if counts[g] else None
+        for g in range(group_count)
+    ]
+
+
 def _grouped_min_max(
     name: str, column: TypedColumn, gid: np.ndarray, group_count: int
 ) -> List[Optional[object]]:
@@ -180,9 +217,10 @@ def grouped_aggregate_vector(
     """One aggregate value per group, vectorized; ``None`` declines.
 
     ``gid[i]`` is row ``i``'s group id in ``[0, group_count)``.  A returned
-    list is always element-for-element identical (by object, not merely
-    ``==``) to applying the scalar aggregate to each group's member values
-    in row order.
+    list is element-for-element identical (by object, not merely ``==``) to
+    applying the scalar aggregate to each group's member values in row
+    order — except DISTINCT SUM/AVG, whose float accumulation order differs
+    (see the module docstring) and matches after 9-decimal normalisation.
     """
     name = name.upper()
     if name == "COUNT" and not distinct:
@@ -197,10 +235,12 @@ def grouped_aggregate_vector(
     if name == "COUNT":
         return _grouped_count(column, gid, group_count, distinct)
     if name in ("SUM", "AVG"):
-        if distinct or column.kind != KIND_NUMBER:
-            # DISTINCT sums in set-iteration order; text values coerce
-            # through float() one by one — both are scalar-path territory
+        if column.kind != KIND_NUMBER:
+            # text values coerce through float() one by one — scalar-path
+            # territory
             return None
+        if distinct:
+            return _grouped_distinct_sum_avg(name, column, gid, group_count)
         return _grouped_sum_avg(name, column, gid, group_count)
     if name in ("MIN", "MAX"):
         return _grouped_min_max(name, column, gid, group_count)

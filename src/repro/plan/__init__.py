@@ -10,13 +10,20 @@ The subpackage has three layers:
   resolution (and its interpreter-compatibility quirks) done once;
 * :mod:`repro.plan.optimizer` — :func:`optimize` with the rule set in
   :class:`OptimizerConfig` (constant folding incl. the null sentinel,
-  predicate pushdown, hash-join selection, projection pruning).
+  predicate pushdown, hash-join selection, projection pruning), plus the
+  cost-based rules — join-order enumeration, hash-build-side selection,
+  filter-cascade ordering — driven by :class:`~repro.plan.cost.CostModel`
+  over the engine statistics in :mod:`repro.database.statistics`;
+* :mod:`repro.plan.sampling` — the AQP rewrite: eligible aggregate plans run
+  over a :class:`~repro.plan.nodes.Sample` of the largest table with
+  post-execution scale-up and CLT error bounds.
 
 The columnar physical engine (:class:`repro.executor.ColumnarBackend`) runs
 optimized plans over column batches; the SQL compiler
 (:class:`repro.sql.DVQToSQLCompiler`) renders the canonical plan as SQLite
-SQL.  ``plan.explain()`` prints any plan as an indented operator tree — see
-``examples/plan_explain.py``.
+SQL.  ``plan.explain()`` prints any plan as an indented operator tree
+(``explain(statistics=...)`` annotates estimated cardinality and cost) —
+see ``examples/plan_explain.py``.
 """
 
 # import order matters: nodes and optimizer must be initialised before
@@ -43,26 +50,38 @@ from repro.plan.nodes import (
     Predicate,
     Project,
     ResolvedColumn,
+    Sample,
     Scan,
     Sort,
     iter_nodes,
     output_labels,
     output_node,
 )
+from repro.plan.cost import CostModel
 from repro.plan.optimizer import (
     DEFAULT_OPTIMIZER,
     OptimizerConfig,
     fold_predicate,
     optimize,
+    order_filter_cascades,
     prune_projections,
     push_down_predicates,
+    reorder_joins,
+    select_build_sides,
     select_hash_joins,
+)
+from repro.plan.sampling import (
+    ApproximationInfo,
+    SamplingConfig,
+    SamplingRewrite,
+    rewrite_with_sampling,
 )
 from repro.plan.planner import Scope, plan_query
 
 __all__ = [
     "Aggregate",
     "AggregateOutput",
+    "ApproximationInfo",
     "Bin",
     "BinKey",
     "BinOutput",
@@ -70,6 +89,7 @@ __all__ = [
     "Comparison",
     "Connective",
     "ConstPredicate",
+    "CostModel",
     "DEFAULT_OPTIMIZER",
     "Filter",
     "GroupKey",
@@ -83,16 +103,23 @@ __all__ = [
     "Predicate",
     "Project",
     "ResolvedColumn",
+    "Sample",
+    "SamplingConfig",
+    "SamplingRewrite",
     "Scan",
     "Scope",
     "Sort",
     "fold_predicate",
     "iter_nodes",
     "optimize",
+    "order_filter_cascades",
     "output_labels",
     "output_node",
     "plan_query",
     "prune_projections",
     "push_down_predicates",
+    "reorder_joins",
+    "rewrite_with_sampling",
+    "select_build_sides",
     "select_hash_joins",
 ]

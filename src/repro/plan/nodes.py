@@ -183,12 +183,28 @@ class _NodeBase:
     def children(self) -> Tuple["PlanNode", ...]:
         return ()
 
-    def explain(self) -> str:
-        """Render the plan subtree as an indented operator listing."""
+    def explain(self, statistics: Optional[object] = None) -> str:
+        """Render the plan subtree as an indented operator listing.
+
+        With ``statistics`` — a :class:`~repro.plan.cost.CostModel` or the
+        :class:`~repro.database.database.Database` to build one from — every
+        node is annotated with its estimated output cardinality and
+        cumulative cost, making the optimizer's cost-based decisions
+        (join order, build side, filter ordering, sampling) inspectable.
+        """
+        model = None
+        if statistics is not None:
+            # deferred: cost imports this module
+            from repro.plan.cost import as_cost_model
+
+            model = as_cost_model(statistics)
         lines = []
 
         def walk(node: "PlanNode", depth: int) -> None:
-            lines.append("  " * depth + node.describe())
+            text = "  " * depth + node.describe()
+            if model is not None:
+                text += f"  [{model.annotate(node)}]"
+            lines.append(text)
             for child in node.children():
                 walk(child, depth + 1)
 
@@ -225,7 +241,12 @@ class Join(_NodeBase):
     resolves into the right (newly joined) subtree — ``"right"`` for a
     well-formed clause, ``"left"`` when the sides were written swapped,
     ``None`` for degenerate clauses — used by the optimizer's hash-join
-    selection (degenerate joins stay nested-loop).  The engine itself
+    selection (degenerate joins stay nested-loop).  ``build_side`` records
+    which *input* the cost-based optimizer chose to build the join table on:
+    ``"right"`` (the historical default, matching the interpreter's emit
+    order) or ``"left"`` when the accumulated left input is estimated
+    smaller; the engine restores the canonical left-major emit order after a
+    flipped build, so the choice is invisible in results.  The engine itself
     re-derives the sides from the batches at run time, mirroring the
     interpreter's name-based fallback lookup; key equality is Python ``==``
     with NULL keys never matching — SQL join semantics, shared by every
@@ -238,15 +259,45 @@ class Join(_NodeBase):
     right_key: ResolvedColumn
     build_key: Optional[str] = "right"
     strategy: str = NESTED_LOOP
+    build_side: str = "right"
 
     def children(self) -> Tuple["PlanNode", ...]:
         return (self.left, self.right)
 
     def describe(self) -> str:
+        build = "" if self.build_side == "right" else f", build={self.build_side}"
         return (
             f"Join({self.left_key.render()} = {self.right_key.render()}, "
-            f"strategy={self.strategy})"
+            f"strategy={self.strategy}{build})"
         )
+
+
+@dataclass(frozen=True)
+class Sample(_NodeBase):
+    """Replace a scan's rows with a precomputed seeded row sample.
+
+    The AQP rewrite (:mod:`repro.plan.sampling`) inserts this directly above
+    one :class:`Scan`; the engine answers it from the table's cached
+    :meth:`~repro.database.table.Table.sample` (a sorted row-id subset), so
+    everything above — filters, joins, grouping — runs unchanged on ~
+    ``fraction`` of the rows.  ``kind`` is ``"uniform"`` or ``"keyed"``
+    (stratified by the group-by column ``key``); scale-up of the aggregate
+    outputs happens after execution, driven by the sample's metadata.
+    """
+
+    child: "PlanNode"
+    table: str
+    kind: str
+    key: Optional[str]
+    fraction: float
+    seed: int
+
+    def children(self) -> Tuple["PlanNode", ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        key = f", key={self.key}" if self.key else ""
+        return f"Sample({self.kind}{key}, fraction={self.fraction}, seed={self.seed})"
 
 
 @dataclass(frozen=True)
@@ -343,7 +394,7 @@ class Limit(_NodeBase):
         return f"Limit({self.count})"
 
 
-PlanNode = Union[Scan, Join, Filter, Bin, Aggregate, Project, Sort, Limit]
+PlanNode = Union[Scan, Sample, Join, Filter, Bin, Aggregate, Project, Sort, Limit]
 
 
 def iter_nodes(plan: PlanNode) -> Iterator[PlanNode]:

@@ -21,14 +21,33 @@ row interpreter and SQLite — and individually toggleable through
 * **projection pruning** (``pruning``): scans materialise only the columns
   the rest of the plan references (outputs, group keys, predicates, join
   keys, the bin column).
+
+Three further rules are *cost-based*: they consult table statistics through a
+:class:`~repro.plan.cost.CostModel` and only run when :func:`optimize` is
+handed one (``statistics=``) — without statistics the optimizer behaves
+exactly as the rule-based subset above:
+
+* **join-order enumeration** (``join_order``): the left-deep join spine is
+  greedily re-nested to keep the estimated intermediate cardinality minimal;
+  each original Join node keeps its ON keys and metadata, only the nesting
+  order changes, so results are identical up to (normalised-away) row order.
+* **hash-build-side selection** (``build_side``): each join builds its hash
+  table on whichever input is estimated smaller
+  (:attr:`~repro.plan.nodes.Join.build_side`); the engine restores the
+  canonical emit order after a flipped build.
+* **filter-cascade ordering** (``filter_order``): a filter of several
+  AND-conjuncts becomes a cascade of single-conjunct filters, most selective
+  innermost, so later (expensive) predicates only see surviving rows — the
+  engine's vectorized masks have no short-circuit inside one predicate tree.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.dvq.nodes import Condition
+from repro.plan.cost import CostModel, as_cost_model
 from repro.plan.nodes import (
     HASH,
     Aggregate,
@@ -46,6 +65,7 @@ from repro.plan.nodes import (
     AggregateOutput,
     ColumnOutput,
     ResolvedColumn,
+    Sample,
     Scan,
     Sort,
 )
@@ -53,16 +73,32 @@ from repro.plan.nodes import (
 
 @dataclass(frozen=True)
 class OptimizerConfig:
-    """Which rewrite rules :func:`optimize` applies (all on by default)."""
+    """Which rewrite rules :func:`optimize` applies (all on by default).
+
+    The cost-based rules (``join_order``, ``build_side``, ``filter_order``)
+    additionally require statistics to be passed to :func:`optimize`; with no
+    statistics they are inert regardless of these flags.
+    """
 
     fold_constants: bool = True
     pushdown: bool = True
     hash_join: bool = True
     pruning: bool = True
+    join_order: bool = True
+    build_side: bool = True
+    filter_order: bool = True
 
     def rule_names(self) -> Tuple[str, ...]:
         names = []
-        for name in ("fold_constants", "pushdown", "hash_join", "pruning"):
+        for name in (
+            "fold_constants",
+            "pushdown",
+            "join_order",
+            "build_side",
+            "filter_order",
+            "hash_join",
+            "pruning",
+        ):
             if getattr(self, name):
                 names.append(name)
         return tuple(names)
@@ -71,12 +107,29 @@ class OptimizerConfig:
 DEFAULT_OPTIMIZER = OptimizerConfig()
 
 
-def optimize(plan: PlanNode, config: OptimizerConfig = DEFAULT_OPTIMIZER) -> PlanNode:
-    """Apply the enabled rules to ``plan`` and return the rewritten plan."""
+def optimize(
+    plan: PlanNode,
+    config: OptimizerConfig = DEFAULT_OPTIMIZER,
+    statistics: Optional[Union[CostModel, object]] = None,
+) -> PlanNode:
+    """Apply the enabled rules to ``plan`` and return the rewritten plan.
+
+    ``statistics`` — a :class:`~repro.plan.cost.CostModel` or a database to
+    build one from — arms the cost-based rules; ``None`` (the default) keeps
+    the optimizer purely rule-based.
+    """
     if config.fold_constants:
         plan = fold_plan_constants(plan)
     if config.pushdown:
         plan = push_down_predicates(plan)
+    if statistics is not None:
+        model = as_cost_model(statistics)
+        if config.join_order:
+            plan = reorder_joins(plan, model)
+        if config.build_side:
+            plan = select_build_sides(plan, model)
+        if config.filter_order:
+            plan = order_filter_cascades(plan, model)
     if config.hash_join:
         plan = select_hash_joins(plan)
     if config.pruning:
@@ -88,7 +141,7 @@ def _rewrite(plan: PlanNode, fn) -> PlanNode:
     """Bottom-up structural rewrite: children first, then ``fn`` on the node."""
     if isinstance(plan, Join):
         plan = replace(plan, left=_rewrite(plan.left, fn), right=_rewrite(plan.right, fn))
-    elif isinstance(plan, (Filter, Bin, Aggregate, Project, Sort, Limit)):
+    elif isinstance(plan, (Filter, Bin, Aggregate, Project, Sort, Limit, Sample)):
         plan = replace(plan, child=_rewrite(plan.child, fn))
     return fn(plan)
 
@@ -213,6 +266,122 @@ def _attach_filters(node: PlanNode, pushable: Dict[str, List[Predicate]]) -> Pla
     if isinstance(node, Filter):  # a filter pushed by an earlier pass
         return replace(node, child=_attach_filters(node.child, pushable))
     return node
+
+
+# -- cost-based rules --------------------------------------------------------
+
+
+def reorder_joins(plan: PlanNode, model: CostModel) -> PlanNode:
+    """Greedily re-nest the left-deep join spine by estimated cardinality.
+
+    The base (deepest-left) input stays fixed; at every step the admissible
+    join — one whose probe key's table is already placed — with the smallest
+    estimated output joins next, ties broken by original order.  Each Join
+    node keeps its ON keys, build metadata and strategy; only the nesting
+    changes, so the joined row *multiset* is identical and any emit-order
+    difference is absorbed by result normalisation.  Spines containing a
+    degenerate join (``build_key is None``) are left untouched: their
+    name-based side resolution is position-dependent.
+    """
+
+    def walk(node: PlanNode) -> PlanNode:
+        if isinstance(node, Join):
+            return _reorder_spine(node, model)
+        if isinstance(node, (Filter, Bin, Aggregate, Project, Sort, Limit, Sample)):
+            return replace(node, child=walk(node.child))
+        return node
+
+    return walk(plan)
+
+
+def _reorder_spine(top: Join, model: CostModel) -> PlanNode:
+    steps: List[Join] = []
+    node: PlanNode = top
+    while isinstance(node, Join):
+        steps.append(node)
+        node = node.left
+    base = node
+    if len(steps) < 2 or any(step.build_key is None for step in steps):
+        return top
+    steps.reverse()  # bottom-up: original join order
+    placed = _scan_effectives(base)
+    remaining = list(steps)
+    current_rows = model.cardinality(base)
+    ordered: List[Join] = []
+    while remaining:
+        best: Optional[Tuple[float, int, Join]] = None
+        for position, step in enumerate(remaining):
+            probe_key = step.left_key if step.build_key == "right" else step.right_key
+            if probe_key.effective.lower() not in placed:
+                continue
+            rows = model.join_cardinality(
+                current_rows,
+                model.cardinality(step.right),
+                step.left_key,
+                step.right_key,
+            )
+            if best is None or rows < best[0]:
+                best = (rows, position, step)
+        if best is None:
+            return top  # disconnected spine: keep the written order
+        current_rows, position, step = best
+        remaining.pop(position)
+        ordered.append(step)
+        placed |= _scan_effectives(step.right)
+    if all(chosen is original for chosen, original in zip(ordered, steps)):
+        return top
+    rebuilt: PlanNode = base
+    for step in ordered:
+        rebuilt = replace(step, left=rebuilt)
+    return rebuilt
+
+
+def select_build_sides(plan: PlanNode, model: CostModel) -> PlanNode:
+    """Build each join's hash table on the input estimated smaller.
+
+    Sets :attr:`~repro.plan.nodes.Join.build_side` to ``"left"`` when the
+    accumulated left input is estimated smaller than the newly joined right
+    table; the engine probes with the larger side and restores the canonical
+    emit order.  Degenerate joins keep the default.
+    """
+
+    def select(node: PlanNode) -> PlanNode:
+        if isinstance(node, Join) and node.build_key is not None:
+            left_rows = model.cardinality(node.left)
+            right_rows = model.cardinality(node.right)
+            side = "left" if left_rows < right_rows else "right"
+            if side != node.build_side:
+                return replace(node, build_side=side)
+        return node
+
+    return _rewrite(plan, select)
+
+
+def order_filter_cascades(plan: PlanNode, model: CostModel) -> PlanNode:
+    """Split multi-conjunct filters into cascades, most selective innermost.
+
+    One :class:`Filter` evaluates every conjunct over its whole input (the
+    vectorized AND has no short-circuit); a cascade lets each later conjunct
+    run only on the rows surviving the earlier, cheaper-by-selectivity ones.
+    Conjunct masks are independent, so any order computes the same rows.
+    """
+
+    def order(node: PlanNode) -> PlanNode:
+        if not isinstance(node, Filter):
+            return node
+        conjuncts = _split_conjuncts(node.predicate)
+        if len(conjuncts) < 2:
+            return node
+        ranked = sorted(
+            range(len(conjuncts)),
+            key=lambda index: (model.selectivity(conjuncts[index]), index),
+        )
+        child = node.child
+        for index in ranked:
+            child = Filter(child=child, predicate=conjuncts[index])
+        return child
+
+    return _rewrite(plan, order)
 
 
 # -- hash-join selection -----------------------------------------------------

@@ -1,0 +1,345 @@
+"""The AQP rewrite: answer aggregate DVQs from precomputed row samples.
+
+Charts tolerate approximation — a bar chart rendered from an unbiased 5%
+sample is visually indistinguishable from the exact one — so
+:func:`rewrite_with_sampling` turns an optimized plan whose output is
+COUNT/SUM/AVG over groups into the same plan running over a
+:class:`~repro.plan.nodes.Sample` of the largest base table, plus the
+metadata needed to scale the results back up and attach CLT-based
+relative-error bounds.
+
+**Decline-to-exact contract** (mirroring the engine's decline-to-scalar
+kernels): the rewrite returns ``None`` — and the backend silently runs the
+exact plan — whenever approximation would be unsafe or pointless:
+
+* the output is not a group/bin aggregate, or uses MIN / MAX / DISTINCT
+  (a sample cannot bound extremes or distinct counts);
+* the plan carries a LIMIT — top-k membership is sensitive to per-group
+  noise near the cut;
+* the largest table is below ``min_table_rows`` (exact is already instant),
+  appears twice (a self-join would square the sampling rate), or the
+  expected sample support per group is under ``min_rows_per_group``;
+* a SUM/AVG column's estimated coefficient of variation exceeds
+  ``max_cv`` — the CLT bound would be unreliable on such skew.
+
+**Sample choice**: when the single group key is a column of the sampled
+table, the keyed (stratified) sample guarantees every group survives with
+``>= fraction`` of its rows — per-group COUNTs over a plain single-table
+group-by are then *exact*; otherwise the uniform sample with one global
+scale factor is used.  The rewrite appends a hidden per-group ``COUNT(*)``
+output so scale-up and error bounds use the true per-group sample support,
+then strips it from the final rows.
+
+**Error bounds**: for a group with ``k`` sampled rows drawn at effective
+rate ``f``, the reported relative bound is ``z * sqrt((1-f)/k)`` for COUNT,
+``* sqrt(1+cv^2)`` for SUM, and ``* cv`` for AVG, where ``cv`` is the
+column's coefficient of variation estimated from its equi-depth histogram.
+With the default ``z = 3`` these are ~99.7% bounds under CLT assumptions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.database.sampling import DEFAULT_FRACTION, KEYED, UNIFORM
+from repro.plan.cost import CostModel
+from repro.plan.nodes import (
+    Aggregate,
+    AggregateOutput,
+    Bin,
+    ColumnOutput,
+    Filter,
+    Join,
+    Limit,
+    PlanNode,
+    Project,
+    ResolvedColumn,
+    Sample,
+    Scan,
+    Sort,
+    iter_nodes,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.database.database import Database
+    from repro.database.sampling import TableSample
+    from repro.database.statistics import ColumnStatistics
+
+#: Label of the hidden per-group support column appended to the sampled plan.
+SUPPORT_LABEL = "__aqp_support__"
+
+#: Aggregates a sample can answer with bounded relative error.
+_SCALABLE = ("COUNT", "SUM", "AVG")
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """Knobs of the AQP rewrite (defaults tuned for the 1M-row benchmark)."""
+
+    fraction: float = DEFAULT_FRACTION
+    seed: int = 7
+    min_table_rows: int = 10_000
+    min_rows_per_group: float = 25.0
+    z_score: float = 3.0
+    max_cv: float = 5.0
+
+
+DEFAULT_SAMPLING = SamplingConfig()
+
+
+@dataclass(frozen=True)
+class ApproximationInfo:
+    """Attached to an approximate :class:`~repro.executor.executor.ExecutionResult`.
+
+    ``error_bounds`` maps each scaled output label to the maximum CLT
+    relative-error bound observed across its groups (at ``z_score`` sigmas,
+    ~99.7% confidence for the default 3).
+    """
+
+    sampled_table: str
+    kind: str
+    key: Optional[str]
+    fraction: float
+    seed: int
+    sampled_rows: int
+    table_rows: int
+    z_score: float
+    error_bounds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def max_relative_error(self) -> float:
+        return max(self.error_bounds.values(), default=0.0)
+
+
+@dataclass(frozen=True)
+class SamplingRewrite:
+    """A sampled plan plus everything needed to scale its output back up."""
+
+    plan: PlanNode
+    outputs: Tuple[object, ...]
+    labels: Tuple[str, ...]
+    sample: "TableSample"
+    table: str
+    kind: str
+    key: Optional[str]
+    config: SamplingConfig
+    group_key_index: Optional[int]
+    cvs: Dict[int, float]
+
+    def finish(
+        self, rows: List[Tuple[object, ...]]
+    ) -> Tuple[List[Tuple[object, ...]], ApproximationInfo]:
+        """Scale raw sampled rows up and compute per-label error bounds.
+
+        The last value of every raw row is the hidden per-group support
+        ``k`` (sampled rows in the group); it drives both the keyed-strata
+        scale lookup fallback and the CLT bounds, and is stripped here.
+        """
+        z = self.config.z_score
+        global_fraction = (
+            self.sample.sampled_rows / self.sample.row_count
+            if self.sample.row_count
+            else 1.0
+        )
+        bounds: Dict[str, float] = {}
+        scaled_rows: List[Tuple[object, ...]] = []
+        for row in rows:
+            support = row[-1]
+            k = float(support) if isinstance(support, (int, float)) and support else 1.0
+            scale = self.sample.scale
+            fraction = global_fraction
+            if self.kind == KEYED and self.group_key_index is not None:
+                stratum = self.sample.strata.get(row[self.group_key_index])
+                if stratum is not None and stratum.sampled:
+                    scale = stratum.scale
+                    fraction = stratum.sampled / stratum.population
+            base_error = z * math.sqrt(max(1.0 - fraction, 0.0) / k)
+            scaled: List[object] = []
+            for position, output in enumerate(self.outputs):
+                value = row[position]
+                if not isinstance(output, AggregateOutput) or value is None:
+                    scaled.append(value)
+                    continue
+                function = output.function.upper()
+                if function == "COUNT":
+                    scaled.append(value * scale)
+                    bound = base_error
+                elif function == "SUM":
+                    cv = self.cvs.get(position, 1.0)
+                    scaled.append(value * scale)
+                    bound = base_error * math.sqrt(1.0 + cv * cv)
+                else:  # AVG: the sample mean needs no scale-up
+                    scaled.append(value)
+                    bound = base_error * self.cvs.get(position, 1.0)
+                label = self.labels[position]
+                if bound > bounds.get(label, 0.0):
+                    bounds[label] = bound
+            scaled_rows.append(tuple(scaled))
+        info = ApproximationInfo(
+            sampled_table=self.table,
+            kind=self.kind,
+            key=self.key,
+            fraction=self.config.fraction,
+            seed=self.config.seed,
+            sampled_rows=self.sample.sampled_rows,
+            table_rows=self.sample.row_count,
+            z_score=z,
+            error_bounds=bounds,
+        )
+        return scaled_rows, info
+
+
+def _cv_estimate(stats: "ColumnStatistics") -> Optional[float]:
+    """Coefficient of variation off the equi-depth histogram midpoints.
+
+    Equi-depth edges are quantiles, so adjacent-edge midpoints are an
+    (approximately) equal-weight discretisation of the distribution.
+    ``None`` when the column is not numeric or the estimate is degenerate
+    (mean near zero — relative error is meaningless there).
+    """
+    edges = [
+        float(edge) for edge in stats.histogram if isinstance(edge, (int, float))
+    ]
+    if len(edges) < len(stats.histogram) or len(edges) < 3:
+        return None
+    midpoints = [(a + b) / 2.0 for a, b in zip(edges, edges[1:])]
+    mean = sum(midpoints) / len(midpoints)
+    variance = sum(m * m for m in midpoints) / len(midpoints) - mean * mean
+    std = math.sqrt(max(variance, 0.0))
+    if abs(mean) <= 1e-12:
+        return None
+    return std / abs(mean)
+
+
+def rewrite_with_sampling(
+    plan: PlanNode,
+    database: "Database",
+    config: SamplingConfig = DEFAULT_SAMPLING,
+) -> Optional[SamplingRewrite]:
+    """Rewrite ``plan`` to run on a sample, or ``None`` to decline to exact."""
+    aggregate: Optional[Aggregate] = None
+    scans: List[Scan] = []
+    for node in iter_nodes(plan):
+        if isinstance(node, (Limit, Sample, Project)):
+            return None  # top-k sensitive / already sampled / not an aggregate
+        if isinstance(node, Aggregate):
+            aggregate = node
+        elif isinstance(node, Scan):
+            scans.append(node)
+    if aggregate is None or not scans:
+        return None
+    for output in aggregate.outputs:
+        if isinstance(output, AggregateOutput):
+            if output.distinct or output.function.upper() not in _SCALABLE:
+                return None
+    # sample the largest base table (ties broken by plan order for determinism)
+    target = max(scans, key=lambda scan: len(database.table(scan.table).rows))
+    table = database.table(target.table)
+    if len(table.rows) < config.min_table_rows:
+        return None
+    if sum(1 for scan in scans if scan.table.lower() == target.table.lower()) > 1:
+        return None  # a self-join would sample both sides
+    # expected per-group sample support, off the cost model
+    model = CostModel(database)
+    groups = max(model.cardinality(aggregate), 1.0)
+    support = config.fraction * model.cardinality(aggregate.child) / groups
+    if support < config.min_rows_per_group:
+        return None
+    # keyed (stratified) sample when the single group key lives on the
+    # sampled table and is selected; uniform otherwise
+    kind, key, group_key_index = UNIFORM, None, None
+    if len(aggregate.keys) == 1 and isinstance(aggregate.keys[0], ResolvedColumn):
+        group_key = aggregate.keys[0]
+        if (
+            group_key.table.lower() == target.table.lower()
+            and group_key.effective.lower() == target.effective.lower()
+        ):
+            for position, output in enumerate(aggregate.outputs):
+                if (
+                    isinstance(output, ColumnOutput)
+                    and output.column.key() == group_key.key()
+                ):
+                    kind, key, group_key_index = KEYED, group_key.column, position
+                    break
+    sample = table.sample(kind=kind, key=key, fraction=config.fraction, seed=config.seed)
+    if sample is None and kind == KEYED:  # too many strata: fall back to uniform
+        kind, key, group_key_index = UNIFORM, None, None
+        sample = table.sample(kind=UNIFORM, fraction=config.fraction, seed=config.seed)
+    if sample is None or sample.sampled_rows == 0:
+        return None
+    if sample.sampled_rows >= sample.row_count:
+        return None  # the sample is the table: nothing to gain
+    # SUM/AVG columns need a usable coefficient of variation for the bounds
+    cvs: Dict[int, float] = {}
+    for position, output in enumerate(aggregate.outputs):
+        if (
+            isinstance(output, AggregateOutput)
+            and output.function.upper() in ("SUM", "AVG")
+            and output.argument is not None
+        ):
+            argument = output.argument
+            stats = database.table(argument.table).column_statistics(argument.column)
+            cv = _cv_estimate(stats)
+            if cv is None or cv > config.max_cv:
+                return None
+            cvs[position] = cv
+    sampled_plan = _insert_sample(plan, target, kind, key, config)
+    sampled_plan = _append_support(sampled_plan)
+    return SamplingRewrite(
+        plan=sampled_plan,
+        outputs=aggregate.outputs,
+        labels=tuple(output.label for output in aggregate.outputs),
+        sample=sample,
+        table=target.table,
+        kind=kind,
+        key=key,
+        config=config,
+        group_key_index=group_key_index,
+        cvs=cvs,
+    )
+
+
+def _walk(node: PlanNode, fn) -> PlanNode:
+    """Bottom-up rewrite (local twin of the optimizer's ``_rewrite``)."""
+    if isinstance(node, Join):
+        node = replace(node, left=_walk(node.left, fn), right=_walk(node.right, fn))
+    elif isinstance(node, (Filter, Bin, Aggregate, Project, Sort, Limit, Sample)):
+        node = replace(node, child=_walk(node.child, fn))
+    return fn(node)
+
+
+def _insert_sample(
+    plan: PlanNode, target: Scan, kind: str, key: Optional[str], config: SamplingConfig
+) -> PlanNode:
+    def insert(node: PlanNode) -> PlanNode:
+        if (
+            isinstance(node, Scan)
+            and node.table == target.table
+            and node.effective == target.effective
+        ):
+            return Sample(
+                child=node,
+                table=node.table,
+                kind=kind,
+                key=key,
+                fraction=config.fraction,
+                seed=config.seed,
+            )
+        return node
+
+    return _walk(plan, insert)
+
+
+def _append_support(plan: PlanNode) -> PlanNode:
+    support = AggregateOutput(
+        function="COUNT", argument=None, distinct=False, label=SUPPORT_LABEL
+    )
+
+    def append(node: PlanNode) -> PlanNode:
+        if isinstance(node, Aggregate):
+            return replace(node, outputs=node.outputs + (support,))
+        return node
+
+    return _walk(plan, append)

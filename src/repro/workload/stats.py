@@ -1,144 +1,35 @@
-"""Lightweight per-column statistics over generated databases.
+"""Re-export shim: the statistics collectors moved into the engine.
 
-The workload generator needs to make *informed* choices — selective
-predicate literals, realistic BETWEEN endpoints, low-cardinality grouping
-keys, join orders that respect table sizes — without rescanning columns for
-every generated query.  :func:`collect_database_statistics` computes, once
-per database, the classic optimizer summaries: row and null counts, number
-of distinct values (NDV), min/max, an equi-depth histogram and a small
-most-common-values (MCV) list per column.
+The workload generator was the first consumer of per-column statistics; the
+cost-based optimizer is the second, so the dataclasses and collectors now
+live in :mod:`repro.database.statistics` (next to the column stores they
+summarise) and this module keeps the historical import path working.
 
-Statistics are plain frozen dataclasses so they serialise cleanly into fuzz
-reports and test fixtures.
+The generator keeps using the *exact* collectors re-exported here: they
+preserve Python value types (an int MCV stays an int), and generated
+predicate literals are serialised into query text, so value types affect
+corpus determinism.  The engine-side cached variant is
+:meth:`repro.database.table.Table.statistics`.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from repro.database.statistics import (
+    DEFAULT_BINS,
+    DEFAULT_MCV,
+    ColumnStatistics,
+    TableStatistics,
+    collect_column_statistics,
+    collect_database_statistics,
+    collect_table_statistics,
+)
 
-from repro.database.database import Database
-from repro.database.schema import ColumnType
-from repro.database.table import Table
-
-#: Histogram / MCV sizing defaults: small enough to be negligible to compute
-#: at the 1M-row tier, rich enough to drive selective predicates.
-DEFAULT_BINS = 8
-DEFAULT_MCV = 5
-
-
-@dataclass(frozen=True)
-class ColumnStatistics:
-    """Summaries of one column's value distribution.
-
-    Attributes:
-        name: canonical column name.
-        ctype: the column's logical type.
-        row_count: number of rows (including nulls).
-        null_count: number of NULL values.
-        ndv: number of distinct non-null values.
-        minimum / maximum: extrema over non-null values (None when empty).
-        histogram: equi-depth bin edges over the sorted non-null values —
-            ``len(histogram)`` is ``bins + 1`` when enough values exist.
-            Quantile edges make good range-predicate endpoints: a BETWEEN
-            over two adjacent edges selects ~1/bins of the rows.
-        most_common: up to ``mcv`` ``(value, count)`` pairs, descending by
-            count — equality predicates on these have predictable, non-empty
-            selectivity.
-    """
-
-    name: str
-    ctype: ColumnType
-    row_count: int
-    null_count: int
-    ndv: int
-    minimum: Optional[object] = None
-    maximum: Optional[object] = None
-    histogram: Tuple[object, ...] = ()
-    most_common: Tuple[Tuple[object, int], ...] = ()
-
-    @property
-    def null_fraction(self) -> float:
-        return self.null_count / self.row_count if self.row_count else 0.0
-
-    @property
-    def value_range(self) -> Optional[float]:
-        """max - min for numeric columns (None otherwise / when empty)."""
-        if self.ctype is not ColumnType.NUMBER:
-            return None
-        if self.minimum is None or self.maximum is None:
-            return None
-        return float(self.maximum) - float(self.minimum)
-
-
-@dataclass(frozen=True)
-class TableStatistics:
-    """Row count plus per-column statistics for one table."""
-
-    name: str
-    row_count: int
-    columns: Dict[str, ColumnStatistics] = field(default_factory=dict)
-
-    def column(self, name: str) -> ColumnStatistics:
-        return self.columns[name.lower()]
-
-
-def collect_column_statistics(
-    table: Table,
-    column_name: str,
-    bins: int = DEFAULT_BINS,
-    mcv: int = DEFAULT_MCV,
-) -> ColumnStatistics:
-    """Compute :class:`ColumnStatistics` for one column with a single scan."""
-    canonical = table.canonical_column(column_name)
-    ctype = next(c.ctype for c in table.schema.columns if c.name == canonical)
-    values = table.column_values(canonical)
-    non_null = [value for value in values if value is not None]
-    counts = Counter(non_null)
-    ordered = sorted(counts)
-    histogram: Tuple[object, ...] = ()
-    if len(ordered) >= 2:
-        # equi-depth edges over the sorted multiset: walk the distinct values
-        # in order, cutting every len/bins occurrences
-        sorted_values = sorted(non_null)
-        step = max(len(sorted_values) // bins, 1)
-        edges = [sorted_values[0]]
-        for position in range(step, len(sorted_values), step):
-            edge = sorted_values[position]
-            if edge != edges[-1]:
-                edges.append(edge)
-        if sorted_values[-1] != edges[-1]:
-            edges.append(sorted_values[-1])
-        histogram = tuple(edges)
-    return ColumnStatistics(
-        name=canonical,
-        ctype=ctype,
-        row_count=len(values),
-        null_count=len(values) - len(non_null),
-        ndv=len(counts),
-        minimum=ordered[0] if ordered else None,
-        maximum=ordered[-1] if ordered else None,
-        histogram=histogram,
-        most_common=tuple(counts.most_common(mcv)),
-    )
-
-
-def collect_table_statistics(
-    table: Table, bins: int = DEFAULT_BINS, mcv: int = DEFAULT_MCV
-) -> TableStatistics:
-    columns = {
-        column.name.lower(): collect_column_statistics(table, column.name, bins, mcv)
-        for column in table.schema.columns
-    }
-    return TableStatistics(name=table.name, row_count=len(table.rows), columns=columns)
-
-
-def collect_database_statistics(
-    database: Database, bins: int = DEFAULT_BINS, mcv: int = DEFAULT_MCV
-) -> Dict[str, TableStatistics]:
-    """Per-table statistics keyed by lower-cased table name."""
-    return {
-        table.name.lower(): collect_table_statistics(table, bins, mcv)
-        for table in database.tables()
-    }
+__all__ = [
+    "DEFAULT_BINS",
+    "DEFAULT_MCV",
+    "ColumnStatistics",
+    "TableStatistics",
+    "collect_column_statistics",
+    "collect_database_statistics",
+    "collect_table_statistics",
+]

@@ -235,10 +235,11 @@ class TestOptimizer:
 
     def test_rule_names_reflect_toggles(self):
         assert OptimizerConfig().rule_names() == (
-            "fold_constants", "pushdown", "hash_join", "pruning",
+            "fold_constants", "pushdown", "join_order", "build_side",
+            "filter_order", "hash_join", "pruning",
         )
-        assert OptimizerConfig(pushdown=False).rule_names() == (
-            "fold_constants", "hash_join", "pruning",
+        assert OptimizerConfig(pushdown=False, join_order=False).rule_names() == (
+            "fold_constants", "build_side", "filter_order", "hash_join", "pruning",
         )
 
 

@@ -9,9 +9,11 @@ execute to an *identical* :class:`~repro.executor.executor.ExecutionResult`
 (columns, rows and row order after normalisation) on every engine, with the
 legacy row-at-a-time interpreter as the reference oracle.  The engine axis
 covers the full matrix the configuration knobs expose: the SQLite backend,
-and the columnar plan engine with the optimizer on and off and with the
-NumPy kernels on (``columnar``) and off (``columnar-python``); rule-by-rule
-ablations live in ``tests/test_plan.py``.
+and the columnar plan engine with the optimizer on and off, with the
+cost-based rules on (``columnar-cbo``, the engine default) and off
+(``columnar``, rule-based rewrites only) and with the NumPy kernels on and
+off (``columnar-python``); rule-by-rule ablations live in
+``tests/test_plan.py``.
 
 Run this suite alone with ``make test-diff`` (it is marked
 ``differential``).
@@ -39,7 +41,8 @@ pytestmark = pytest.mark.differential
 #: (SQLite connection caches) isolated.
 ENGINE_FACTORIES = {
     "sqlite": SQLiteBackend,
-    "columnar": lambda: ColumnarBackend(optimize=True),
+    "columnar-cbo": lambda: ColumnarBackend(optimize=True),
+    "columnar": lambda: ColumnarBackend(optimize=True, cost_based=False),
     "columnar-noopt": lambda: ColumnarBackend(optimize=False),
     "columnar-python": lambda: ColumnarBackend(optimize=True, vectorize=False),
 }

@@ -82,7 +82,7 @@ class TestCleanSweep:
         assert report.ok, report.summary()
         assert report.total == 120
         assert report.category_counts == {"ok": 120}
-        assert report.comparisons == 480
+        assert report.comparisons == 120 * len(report.engines)
 
     def test_non_portable_sweep_matches_failure_categories(self, database):
         report = fuzz_database(
@@ -144,8 +144,11 @@ class TestNullKeyJoins:
         matrix = default_engine_matrix()
         assert matrix["columnar"].vectorize
         assert not matrix["columnar-python"].vectorize
+        assert matrix["columnar-cbo"].cost_based
+        assert not matrix["columnar"].cost_based
         assert set(matrix) == {
-            "sqlite", "columnar", "columnar-noopt", "columnar-python"
+            "sqlite", "columnar-cbo", "columnar", "columnar-noopt",
+            "columnar-python",
         }
 
 
@@ -155,7 +158,9 @@ class TestInjectedBugRegression:
         assert not report.ok
         assert report.mismatches
         for mismatch in report.mismatches:
-            assert mismatch.engine in ("columnar", "columnar-noopt", "columnar-python")
+            assert mismatch.engine in (
+                "columnar-cbo", "columnar", "columnar-noopt", "columnar-python"
+            )
             assert mismatch.kind == "rows"
             minimized = parse_dvq(mismatch.minimized_text)
             assert clause_count(minimized) <= 3, mismatch.minimized_text
