@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-diff bench bench-index bench-index-check bench-plan bench-plan-check bench-vector bench-vector-check bench-aqp bench-aqp-check bench-paper-scale fuzz fuzz-check quickstart lint
+.PHONY: test test-fast test-diff bench bench-index bench-index-check bench-plan bench-plan-check bench-vector bench-vector-check bench-aqp bench-aqp-check bench-parallel bench-parallel-check bench-summary bench-paper-scale fuzz fuzz-check quickstart lint
 
 test:            ## tier-1 suite (tests/ + benchmarks/, fail fast)
 	$(PYTHON) -m pytest -x -q
@@ -41,6 +41,15 @@ bench-aqp:       ## AQP benchmark: >=10x bar over exact columnar at 1M rows, err
 
 bench-aqp-check: ## AQP benchmark correctness assertions only (no timing bar; used by CI)
 	$(PYTHON) -m pytest benchmarks -q -m aqp -k "not at_least_10x"
+
+bench-parallel:  ## parallel-pipeline benchmark: >=3x bar over max_workers=1 at 1M rows (-m parallel)
+	$(PYTHON) -m pytest benchmarks -q -s -m parallel
+
+bench-parallel-check: ## parallel benchmark correctness assertions only (no timing bar; used by CI)
+	$(PYTHON) -m pytest benchmarks -q -m parallel -k "not at_least_3x"
+
+bench-summary:   ## one trajectory table from every benchmarks/BENCH_*.json
+	$(PYTHON) benchmarks/summarize.py
 
 bench-paper-scale: ## benchmarks at the paper's full corpus scale (slow)
 	$(PYTHON) -m pytest benchmarks -q -s --paper-scale

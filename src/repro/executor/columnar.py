@@ -24,10 +24,19 @@ vector kernel either reproduces its scalar counterpart bit-for-bit or
 
 That decline-don't-approximate contract is what keeps the engine row-for-row
 identical to the interpreter, SQLite, and its own unvectorized mode
-(``vectorize=False``) in the differential suite.  Scans over large batches
-shard into row-range morsels executed on a :class:`~repro.runtime.runner.
-BatchRunner` thread pool; morsel masks are concatenated in range order, so
-results are independent of worker count.
+(``vectorize=False``) in the differential suite.  With ``max_workers > 1``
+the whole pipeline parallelises over a :class:`~repro.runtime.runner.
+BatchRunner` thread pool under the same contract (see
+:mod:`repro.executor.parallel`): predicate scans shard into row-range
+morsels whose masks concatenate in range order; grouping and grouped
+aggregates compute per-morsel partials merged by worker-count-independent
+combines; equi-joins range-partition both sides on the key and re-emit in
+the canonical probe-major order.  Every parallel kernel either reproduces
+the serial kernel bit-for-bit or declines to it, so results never depend on
+worker count or morsel size.  The cost-based optimizer pins each
+join/aggregate serial or parallel from estimated cardinality
+(:attr:`~repro.plan.nodes.Join.parallel`) so small inputs skip the
+partitioning overhead; unhinted plans decide by input size at runtime.
 
 :class:`ColumnarBackend` wraps the engine behind the
 :class:`~repro.executor.backend.ExecutionBackend` protocol: plan, optimize
@@ -59,6 +68,12 @@ from repro.executor.errors import ExecutionError
 from repro.executor.executor import ExecutionResult
 from repro.executor.functions import apply_aggregate, grouped_aggregate_vector
 from repro.executor.ordering import canonical_sorted, legacy_order_key
+from repro.executor.parallel import (
+    morsel_ranges,
+    parallel_group_ids,
+    parallel_grouped_aggregate,
+    partitioned_join_indices,
+)
 from repro.executor.predicates import evaluate_condition, evaluate_condition_vector
 from repro.plan.nodes import (
     HASH,
@@ -211,9 +226,11 @@ class ColumnarEngine:
         vectorize: run the NumPy kernels (with per-value fallback).  Off, the
             engine evaluates every value through the scalar functions — the
             reference mode the differential suite compares against.
-        max_workers: thread-pool width for morsel-parallel predicate scans;
-            ``1`` stays serial.
-        morsel_size: rows per morsel when sharding a scan across workers.
+        max_workers: thread-pool width for the parallel pipeline — morsel
+            scans, partitioned joins, partial grouped aggregation; ``1``
+            stays serial.  Results are identical for every width.
+        morsel_size: rows per morsel when sharding work across workers (also
+            the per-partition row target of partitioned joins).
     """
 
     def __init__(
@@ -293,6 +310,10 @@ class ColumnarEngine:
             return gid, np.zeros(1, dtype=np.intp), 1
         if batch.length == 0:
             return np.zeros(0, dtype=np.intp), np.zeros(0, dtype=np.intp), 0
+        if self._runner is not None and node.parallel is not False:
+            encoded = self._group_ids_parallel(node, batch)
+            if encoded is not None:
+                return encoded
         combined: Optional[np.ndarray] = None
         for key in node.keys:
             if isinstance(key, BinKey):
@@ -315,6 +336,38 @@ class ColumnarEngine:
         rank[order] = np.arange(order.size)
         return rank[inverse], first_idx[order], order.size
 
+    def _group_ids_parallel(
+        self, node: Aggregate, batch: _Batch
+    ) -> Optional[Tuple[np.ndarray, np.ndarray, int]]:
+        """Morsel-parallel first-seen group encode, or ``None`` to decline.
+
+        Declines on inputs below two morsels, on keys whose serial encode
+        goes through the Python dict (mixed/NaN columns — dict equality is
+        not ``np.unique`` equality there), and on any morsel-task failure.
+        When it returns, the ids equal the serial encode exactly.
+        """
+        assert self._runner is not None
+        ranges = morsel_ranges(batch.length, self.morsel_size)
+        if len(ranges) < 2:
+            return None
+        sources: List[Tuple[np.ndarray, Optional[np.ndarray]]] = []
+        for key in node.keys:
+            if isinstance(key, BinKey):
+                codes = batch.bin_codes
+                if codes is None:
+                    return None  # unvectorized bin labels: arbitrary objects
+                sources.append((codes, None))
+                continue
+            column = batch.column(key.key())
+            if column.kind == KIND_NUMBER and not column.has_nan:
+                sources.append((column.data, column.mask))
+            elif column.kind == KIND_TEXT:
+                # all-string columns: np.unique equality == dict key equality
+                sources.append((column.data, column.mask))
+            else:
+                return None
+        return parallel_group_ids(sources, ranges, self._runner)
+
     def _aggregate_grouped(
         self,
         node: Aggregate,
@@ -323,6 +376,11 @@ class ColumnarEngine:
         first_rows: np.ndarray,
         group_count: int,
     ) -> List[Tuple[object, ...]]:
+        parallel_ranges: Optional[List[Tuple[int, int]]] = None
+        if self._runner is not None and node.parallel is not False:
+            ranges = morsel_ranges(batch.length, self.morsel_size)
+            if len(ranges) >= 2:
+                parallel_ranges = ranges
         members_bounds: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
         def members(group: int) -> List[int]:
@@ -343,9 +401,21 @@ class ColumnarEngine:
                     columns_out.append([int(count) for count in counts])
                     continue
                 column = batch.column(output.argument.key())
-                values = grouped_aggregate_vector(
-                    output.function, column, gid, group_count, distinct=output.distinct
-                )
+                values = None
+                if parallel_ranges is not None:
+                    values = parallel_grouped_aggregate(
+                        output.function,
+                        column,
+                        gid,
+                        group_count,
+                        output.distinct,
+                        parallel_ranges,
+                        self._runner,
+                    )
+                if values is None:
+                    values = grouped_aggregate_vector(
+                        output.function, column, gid, group_count, distinct=output.distinct
+                    )
                 if values is None:
                     objects = column.objects
                     values = [
@@ -540,6 +610,11 @@ class ColumnarEngine:
             return self._empty_join(left, right)
         build_column = build_holder.get()
         indices: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        # the partitioned kernel emits the same pairs in the same canonical
+        # order as the sort kernel, so trying it first never changes results
+        use_parallel = (
+            self.vectorize and self._runner is not None and node.parallel is not False
+        )
         if node.build_side == "left":
             # cost-based flip: build on the (estimated smaller) left input and
             # probe with the right.  The kernels emit probe-major pairs, so a
@@ -547,7 +622,11 @@ class ColumnarEngine:
             # restores the canonical order — left-major with build rows
             # ascending within each probe row — making the flip invisible in
             # results (each probe row's matches were already ascending).
-            if self.vectorize:
+            if use_parallel:
+                indices = partitioned_join_indices(
+                    build_column, probe_column, self._runner, self.morsel_size
+                )
+            if indices is None and self.vectorize:
                 indices = _vector_join_indices(build_column, probe_column)
             if indices is None:
                 indices = _scalar_join_indices(
@@ -557,7 +636,11 @@ class ColumnarEngine:
             order = np.argsort(left_indices, kind="stable")
             indices = (left_indices[order], right_indices[order])
         else:
-            if self.vectorize:
+            if use_parallel:
+                indices = partitioned_join_indices(
+                    probe_column, build_column, self._runner, self.morsel_size
+                )
+            if indices is None and self.vectorize:
                 indices = _vector_join_indices(probe_column, build_column)
             if indices is None:
                 indices = _scalar_join_indices(
@@ -708,13 +791,14 @@ class ColumnarBackend:
         optimizer_config: which optimizer rules apply when ``optimize`` is on.
         vectorize: run the NumPy kernels; off = the per-value reference mode
             (the ``"columnar-python"`` entry of the differential matrix).
-        max_workers: morsel-scan thread-pool width (1 = serial).
-        morsel_size: rows per morsel for parallel scans.
+        max_workers: thread-pool width for the parallel pipeline — scans,
+            joins, aggregation (1 = serial; results identical either way).
+        morsel_size: rows per morsel / join partition for parallel work.
         cost_based: feed table statistics into the optimizer so the
             cost-based rules (join-order enumeration, build-side selection,
-            filter-cascade ordering) apply.  Off = the rule-based-only
-            rewrites of the pre-statistics engine; results are identical
-            either way.
+            filter-cascade ordering, parallel-operator choice) apply.  Off =
+            the rule-based-only rewrites of the pre-statistics engine;
+            results are identical either way.
         approximate: try the sampling-based AQP rewrite
             (:mod:`repro.plan.sampling`) first for eligible aggregate
             queries, answering from a precomputed sample with scale-up and

@@ -1,0 +1,588 @@
+"""Partitioned parallel kernels: equi-joins and grouped aggregation.
+
+Morsel-parallel scans left joins and grouping single-threaded; this module
+shards them across the engine's :class:`~repro.runtime.runner.BatchRunner`
+under a strict *determinism contract*: every kernel either returns exactly
+what its serial counterpart would — independent of worker count and morsel
+split — or declines with ``None`` so the engine runs the serial kernel.
+
+How each kernel keeps the contract:
+
+* **Group encode** (:func:`parallel_group_ids`): each morsel
+  dictionary-encodes its slice with ``np.unique``; the merge unions the
+  per-morsel dictionaries, takes each value's earliest absolute row, and
+  ranks values by that first occurrence.  "Rank by first occurrence" does
+  not depend on how rows were split, so the dense codes equal the serial
+  first-seen encode.  Multi-key grouping mirrors the serial pairwise
+  ``combined * k + code`` re-encode.
+* **COUNT** / **COUNT DISTINCT**: partial bincounts sum exactly (small
+  integers); per-morsel distinct (group, value) pairs re-dedupe globally —
+  set cardinality has no accumulation order.  NaN rows are counted by
+  object identity in one pass over only those rows, matching ``set()``.
+* **SUM / AVG**: per-morsel partial sums merge only when provably exact —
+  every value integral (and finite) with total magnitude below 2**53,
+  where float64 addition is associative.  Otherwise the merge is one
+  full-array ``np.bincount`` over the parallel-computed group ids: the
+  serial kernel's own row-order accumulation, bit for bit.
+* **MIN / MAX**: per-morsel fold states (winner row per group, via
+  :func:`~repro.executor.functions.grouped_extreme_rows`) merge in morsel
+  order with the scalar fold itself: a later winner dethrones only by a
+  strict comparison win, so ties keep the earlier row and NaN — which
+  loses every comparison — survives only as a group's first value.
+* **Join** (:func:`partitioned_join_indices`): both sides split into the
+  same key ranges (pivots from a deterministic strided build-side sample;
+  comparison-based, not hashed, so ``-0.0 == 0.0`` and float/text equality
+  behave exactly like the sort kernel); each partition runs the serial
+  sort/searchsorted join; results scatter into the canonical probe-major,
+  build-row-ascending layout at positions computed from global per-probe
+  match counts — the same pairs in the same order for any partitioning.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.database.typed import KIND_NUMBER, KIND_TEXT, TypedColumn
+from repro.executor.functions import (
+    _identity_distinct_nan_counts,
+    grouped_extreme_rows,
+    grouped_first_rows,
+)
+from repro.runtime.runner import BatchRunner
+
+_EMPTY_INDICES = np.empty(0, dtype=np.intp)
+
+#: Integer magnitudes below 2**53 are exact in float64, making partial sums
+#: associative — the precondition for merging per-morsel sums bit-exactly.
+_EXACT_SUM_BOUND = float(2**53)
+
+#: Upper bound on join partitions: enough to feed any sane worker count
+#: while keeping per-partition scheduling overhead negligible.
+MAX_JOIN_PARTITIONS = 64
+
+
+def morsel_ranges(length: int, morsel_size: int) -> List[Tuple[int, int]]:
+    """Row ranges of at most ``morsel_size`` rows covering ``[0, length)``."""
+    size = max(int(morsel_size), 1)
+    return [(start, min(start + size, length)) for start in range(0, length, size)]
+
+
+# -- group-id encode ---------------------------------------------------------
+
+
+def _encode_morsel(
+    data: np.ndarray, mask: Optional[np.ndarray], start: int, stop: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Dictionary-encode one slice: (uniques, codes, first_rows, null_first).
+
+    ``codes`` are morsel-local dense codes with ``-1`` on NULL rows;
+    ``first_rows`` holds the *absolute* first row of each local unique;
+    ``null_first`` is the absolute first NULL row, or ``-1``.
+    """
+    values = data[start:stop]
+    length = stop - start
+    valid_rows: Optional[np.ndarray] = None
+    null_first = -1
+    if mask is not None:
+        segment_mask = mask[start:stop]
+        null_rows = np.flatnonzero(segment_mask)
+        if null_rows.size:
+            null_first = int(null_rows[0]) + start
+            valid_rows = np.flatnonzero(~segment_mask)
+            values = values[valid_rows]
+    if values.size == 0:
+        return values, np.full(length, -1, dtype=np.intp), _EMPTY_INDICES, null_first
+    uniques, first_pos, inverse = np.unique(
+        values, return_index=True, return_inverse=True
+    )
+    if valid_rows is None:
+        codes = inverse.astype(np.intp, copy=False)
+        first_rows = first_pos.astype(np.intp) + start
+    else:
+        codes = np.full(length, -1, dtype=np.intp)
+        codes[valid_rows] = inverse
+        first_rows = valid_rows[first_pos] + start
+    return uniques, codes, first_rows, null_first
+
+
+def parallel_encode(
+    data: np.ndarray,
+    mask: Optional[np.ndarray],
+    ranges: Sequence[Tuple[int, int]],
+    runner: BatchRunner,
+) -> Optional[Tuple[np.ndarray, np.ndarray, int]]:
+    """First-seen dense codes for one key array, computed morsel-parallel.
+
+    Returns ``(gid, first_rows, group_count)`` identical to the serial
+    first-seen encode (NULL is one group like any other, ranked by its first
+    row), or ``None`` when a morsel task failed.
+    """
+    report = runner.run(
+        ranges, lambda rng: _encode_morsel(data, mask, rng[0], rng[1])
+    )
+    if report.failure_count:
+        return None
+    parts = report.values()
+    global_uniques = np.unique(np.concatenate([part[0] for part in parts]))
+    length = ranges[-1][1]
+    # earliest absolute row per unique: morsels are visited in row order, so
+    # the first morsel naming a value wins and later morsels never override
+    unique_first = np.full(global_uniques.size, length, dtype=np.intp)
+    positions: List[np.ndarray] = []
+    for uniques, _, first_rows, _ in parts:
+        if uniques.size == 0:
+            positions.append(_EMPTY_INDICES)
+            continue
+        pos = np.searchsorted(global_uniques, uniques)
+        positions.append(pos)
+        unseen = unique_first[pos] == length
+        unique_first[pos[unseen]] = first_rows[unseen]
+    null_firsts = [part[3] for part in parts if part[3] >= 0]
+    if null_firsts:
+        all_first = np.append(unique_first, null_firsts[0])
+    else:
+        all_first = unique_first
+    order = np.argsort(all_first, kind="stable")
+    rank = np.empty(order.size, dtype=np.intp)
+    rank[order] = np.arange(order.size)
+    null_rank = int(rank[global_uniques.size]) if null_firsts else -1
+
+    def remap(index: int) -> np.ndarray:
+        codes = parts[index][1]
+        segment = np.empty(codes.size, dtype=np.intp)
+        valid = codes >= 0
+        if positions[index].size:
+            segment[valid] = rank[positions[index]][codes[valid]]
+        segment[~valid] = null_rank
+        return segment
+
+    remapped = runner.run(range(len(parts)), remap)
+    if remapped.failure_count:
+        return None
+    gid = np.concatenate(remapped.values())
+    return gid, all_first[order], order.size
+
+
+def parallel_group_ids(
+    sources: Sequence[Tuple[np.ndarray, Optional[np.ndarray]]],
+    ranges: Sequence[Tuple[int, int]],
+    runner: BatchRunner,
+) -> Optional[Tuple[np.ndarray, np.ndarray, int]]:
+    """Combine one or more ``(data, mask-or-None)`` keys into group ids.
+
+    Mirrors the serial pairwise combine: encode each key, then re-encode
+    ``combined * k + code`` so the final ids rank by first occurrence of the
+    full key tuple — dense-code relabeling never changes which rows group
+    together, and the last first-seen re-rank fixes the order.
+    """
+    result: Optional[Tuple[np.ndarray, np.ndarray, int]] = None
+    combined: Optional[np.ndarray] = None
+    for data, mask in sources:
+        encoded = parallel_encode(data, mask, ranges, runner)
+        if encoded is None:
+            return None
+        gid, _, count = encoded
+        if combined is None:
+            combined = gid.astype(np.int64, copy=False)
+            result = encoded
+            continue
+        # both factors are dense codes < row count, so the product fits int64
+        merged = combined * np.int64(count) + gid
+        encoded = parallel_encode(merged, None, ranges, runner)
+        if encoded is None:
+            return None
+        combined = encoded[0].astype(np.int64, copy=False)
+        result = encoded
+    return result
+
+
+# -- partial grouped aggregates ----------------------------------------------
+
+
+def _dedupe_pairs(
+    groups: np.ndarray, values: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Distinct (group, value) pairs, sorted by (group, value)."""
+    order = np.lexsort((values, groups))
+    groups = groups[order]
+    values = values[order]
+    keep = np.ones(groups.size, dtype=bool)
+    keep[1:] = (groups[1:] != groups[:-1]) | (values[1:] != values[:-1])
+    return groups[keep], values[keep]
+
+
+def _distinct_pairs(
+    column: TypedColumn, gid: np.ndarray, start: int, stop: int, drop_nan: bool
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One morsel's distinct (group, value) pairs plus its NaN rows.
+
+    With ``drop_nan`` the NaN rows come back separately (absolute indices,
+    for identity-distinct counting); otherwise they stay in the pairs, where
+    ``NaN != NaN`` keeps every one — matching the serial dedupe.
+    """
+    segment_mask = column.mask[start:stop]
+    valid = ~segment_mask
+    groups = gid[start:stop][valid]
+    values = column.data[start:stop][valid]
+    nan_rows = _EMPTY_INDICES
+    if drop_nan and column.kind == KIND_NUMBER and groups.size:
+        nan_mask = np.isnan(values)
+        if nan_mask.any():
+            nan_rows = np.flatnonzero(valid)[nan_mask] + start
+            groups = groups[~nan_mask]
+            values = values[~nan_mask]
+    if groups.size:
+        groups, values = _dedupe_pairs(groups, values)
+    return groups, values, nan_rows
+
+
+def _parallel_count(
+    column: TypedColumn,
+    gid: np.ndarray,
+    group_count: int,
+    ranges: Sequence[Tuple[int, int]],
+    runner: BatchRunner,
+) -> Optional[List[int]]:
+    mask = column.mask
+    report = runner.run(
+        ranges,
+        lambda rng: np.bincount(
+            gid[rng[0] : rng[1]][~mask[rng[0] : rng[1]]], minlength=group_count
+        ),
+    )
+    if report.failure_count:
+        return None
+    counts = np.sum(report.values(), axis=0)
+    return [int(count) for count in counts]
+
+
+def _parallel_count_distinct(
+    column: TypedColumn,
+    gid: np.ndarray,
+    group_count: int,
+    ranges: Sequence[Tuple[int, int]],
+    runner: BatchRunner,
+) -> Optional[List[int]]:
+    report = runner.run(
+        ranges, lambda rng: _distinct_pairs(column, gid, rng[0], rng[1], True)
+    )
+    if report.failure_count:
+        return None
+    parts = report.values()
+    groups = np.concatenate([part[0] for part in parts])
+    values = np.concatenate([part[1] for part in parts])
+    if groups.size:
+        groups, _ = _dedupe_pairs(groups, values)
+        counts = np.bincount(groups, minlength=group_count)
+    else:
+        counts = np.zeros(group_count, dtype=np.intp)
+    nan_rows = np.concatenate([part[2] for part in parts])
+    if nan_rows.size:
+        counts = counts + _identity_distinct_nan_counts(
+            column.objects, nan_rows, gid, group_count
+        )
+    return [int(count) for count in counts]
+
+
+def _morsel_sums(
+    column: TypedColumn, gid: np.ndarray, group_count: int, start: int, stop: int
+) -> Tuple[np.ndarray, np.ndarray, bool, float]:
+    values = column.data[start:stop]
+    segment_gid = gid[start:stop]
+    sums = np.bincount(segment_gid, weights=values, minlength=group_count)
+    counts = np.bincount(
+        segment_gid[~column.mask[start:stop]], minlength=group_count
+    )
+    # NULL placeholders are 0.0 — integral and accumulation-neutral; NaN and
+    # infinities fail the finite check, forcing the order-exact merge path
+    exact = bool(np.isfinite(values).all()) and bool(
+        (values == np.trunc(values)).all()
+    )
+    magnitude = float(np.abs(values).sum()) if exact else 0.0
+    return sums, counts, exact, magnitude
+
+
+def _parallel_sum_avg(
+    name: str,
+    column: TypedColumn,
+    gid: np.ndarray,
+    group_count: int,
+    ranges: Sequence[Tuple[int, int]],
+    runner: BatchRunner,
+) -> Optional[List[Optional[float]]]:
+    report = runner.run(
+        ranges, lambda rng: _morsel_sums(column, gid, group_count, rng[0], rng[1])
+    )
+    if report.failure_count:
+        return None
+    parts = report.values()
+    counts = np.sum([part[1] for part in parts], axis=0)
+    if all(part[2] for part in parts) and (
+        sum(part[3] for part in parts) < _EXACT_SUM_BOUND
+    ):
+        # integer-valued and small enough: float64 addition is exact here, so
+        # the partial sums merge associatively — bit-identical to the serial
+        # row-order fold
+        sums = np.sum([part[0] for part in parts], axis=0)
+    else:
+        # accumulation order matters: one full-array bincount in row order
+        # *is* the serial kernel's fold, reusing the parallel group ids
+        sums = np.bincount(gid, weights=column.data, minlength=group_count)
+    if name == "SUM":
+        return [float(sums[g]) if counts[g] else None for g in range(group_count)]
+    return [
+        float(sums[g]) / int(counts[g]) if counts[g] else None
+        for g in range(group_count)
+    ]
+
+
+def _parallel_distinct_sum_avg(
+    name: str,
+    column: TypedColumn,
+    gid: np.ndarray,
+    group_count: int,
+    ranges: Sequence[Tuple[int, int]],
+    runner: BatchRunner,
+) -> Optional[List[Optional[float]]]:
+    report = runner.run(
+        ranges, lambda rng: _distinct_pairs(column, gid, rng[0], rng[1], False)
+    )
+    if report.failure_count:
+        return None
+    parts = report.values()
+    groups = np.concatenate([part[0] for part in parts])
+    values = np.concatenate([part[1] for part in parts])
+    result: List[Optional[float]] = [None] * group_count
+    if groups.size == 0:
+        return result
+    # re-deduping the concatenated morsel dedups yields the same sorted
+    # distinct multiset as the serial kernel's single global dedupe, so the
+    # bincount accumulates the identical sequence
+    groups, values = _dedupe_pairs(groups, values)
+    sums = np.bincount(groups, weights=values, minlength=group_count)
+    counts = np.bincount(groups, minlength=group_count)
+    if name == "SUM":
+        return [float(sums[g]) if counts[g] else None for g in range(group_count)]
+    return [
+        float(sums[g]) / int(counts[g]) if counts[g] else None
+        for g in range(group_count)
+    ]
+
+
+def _parallel_min_max(
+    name: str,
+    column: TypedColumn,
+    gid: np.ndarray,
+    group_count: int,
+    ranges: Sequence[Tuple[int, int]],
+    runner: BatchRunner,
+) -> Optional[List[Optional[object]]]:
+    # one morsel cannot decide whether NaN leads a group globally, so each
+    # partial carries the pure non-NaN extreme plus (for NaN-bearing number
+    # columns) the group's first valid row in that morsel
+    track_first = column.kind == KIND_NUMBER and column.has_nan
+
+    def partial_state(rng: Tuple[int, int]) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        start, stop = rng
+        mask_slice = column.mask[start:stop]
+        gid_slice = gid[start:stop]
+        extreme = grouped_extreme_rows(
+            name,
+            column.data[start:stop],
+            mask_slice,
+            gid_slice,
+            group_count,
+            nan_first=False,
+        )
+        extreme[extreme >= 0] += start
+        first = None
+        if track_first:
+            first = grouped_first_rows(mask_slice, gid_slice, group_count)
+            first[first >= 0] += start
+        return extreme, first
+
+    report = runner.run(ranges, partial_state)
+    if report.failure_count:
+        return None
+    data = column.data
+    best: Optional[np.ndarray] = None
+    global_first: Optional[np.ndarray] = None
+    for extreme, first in report.values():
+        if best is None:
+            best = extreme
+            global_first = first
+            continue
+        # merge two fold states with the fold itself: the later morsel's
+        # extreme dethrones only by a strict comparison win, so equal values
+        # keep the earlier morsel (= the earlier row)
+        cand_valid = extreme >= 0
+        best_valid = best >= 0
+        cand_values = data[np.where(cand_valid, extreme, 0)]
+        best_values = data[np.where(best_valid, best, 0)]
+        if name == "MIN":
+            wins = cand_values < best_values
+        else:
+            wins = cand_values > best_values
+        best = np.where(cand_valid & (~best_valid | wins), extreme, best)
+        if global_first is not None:
+            global_first = np.where(global_first >= 0, global_first, first)
+    assert best is not None
+    if global_first is not None:
+        # a group whose global first value is NaN keeps it — the fold starts
+        # there and NaN never loses a comparison it is already winning by
+        # default (every comparison is False)
+        present = global_first >= 0
+        first_is_nan = present & np.isnan(
+            data[np.where(present, global_first, 0)]
+        )
+        best = np.where(first_is_nan, global_first, best)
+    objects = column.objects
+    return [objects[row] if row >= 0 else None for row in best.tolist()]
+
+
+def parallel_grouped_aggregate(
+    name: str,
+    column: TypedColumn,
+    gid: np.ndarray,
+    group_count: int,
+    distinct: bool,
+    ranges: Sequence[Tuple[int, int]],
+    runner: BatchRunner,
+) -> Optional[List[object]]:
+    """Morsel-parallel grouped aggregate, or ``None`` to decline.
+
+    Declines mirror :func:`~repro.executor.functions.grouped_aggregate_vector`
+    (plus any morsel-task failure); every returned list equals that serial
+    kernel's output for any worker count.
+    """
+    name = name.upper()
+    if name == "COUNT" and not distinct:
+        return _parallel_count(column, gid, group_count, ranges, runner)
+    if column.kind not in (KIND_NUMBER, KIND_TEXT):
+        return None
+    if name == "COUNT":
+        return _parallel_count_distinct(column, gid, group_count, ranges, runner)
+    if name in ("SUM", "AVG"):
+        if column.kind != KIND_NUMBER:
+            return None
+        if distinct:
+            return _parallel_distinct_sum_avg(
+                name, column, gid, group_count, ranges, runner
+            )
+        return _parallel_sum_avg(name, column, gid, group_count, ranges, runner)
+    if name in ("MIN", "MAX"):
+        return _parallel_min_max(name, column, gid, group_count, ranges, runner)
+    return None
+
+
+# -- partitioned parallel join -----------------------------------------------
+
+
+def partitioned_join_indices(
+    probe: TypedColumn,
+    build: TypedColumn,
+    runner: BatchRunner,
+    morsel_size: int,
+    max_partitions: int = MAX_JOIN_PARTITIONS,
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Range-partitioned parallel equi-join in canonical order, or ``None``.
+
+    Declines exactly when the serial sort kernel would (object/NaN keys;
+    mixed kinds are the empty join), plus when the inputs are too small to
+    be worth partitioning or every sampled key is equal.
+    """
+    for column in (probe, build):
+        if column.kind not in (KIND_NUMBER, KIND_TEXT):
+            return None
+        if column.kind == KIND_NUMBER and column.has_nan:
+            return None
+    if probe.kind != build.kind:
+        # a number never ``==`` a string: every pair misses
+        return _EMPTY_INDICES, _EMPTY_INDICES
+    build_rows = np.flatnonzero(~build.mask)
+    probe_rows = np.flatnonzero(~probe.mask)
+    if build_rows.size == 0 or probe_rows.size == 0:
+        return _EMPTY_INDICES, _EMPTY_INDICES
+    partitions = min(
+        int(max_partitions),
+        max(probe_rows.size, build_rows.size) // max(int(morsel_size), 1),
+    )
+    if partitions < 2:
+        return None
+    build_values = build.data[build_rows]
+    probe_values = probe.data[probe_rows]
+    # pivots: a deterministic strided sample of the build side cut into
+    # equal-frequency ranges; comparison-based partitioning (not hashing)
+    # keeps equality semantics identical to the sort kernel
+    stride = max(1, build_values.size // 4096)
+    sample = np.sort(build_values[::stride])
+    cuts = np.linspace(0, sample.size - 1, num=partitions + 1)[1:-1].astype(np.intp)
+    pivots = np.unique(sample[cuts])
+    if pivots.size == 0:
+        # every sampled key equal: partitioning cannot spread this join
+        return None
+    # partition id = number of pivots strictly below the value, so equal
+    # values land in the same partition regardless of side
+    count = pivots.size + 1
+    build_pid = np.searchsorted(pivots, build_values, side="left").astype(np.uint16)
+    probe_pid = np.searchsorted(pivots, probe_values, side="left").astype(np.uint16)
+    build_order = np.argsort(build_pid, kind="stable")
+    build_bounds = np.searchsorted(build_pid[build_order], np.arange(count + 1))
+    probe_order = np.argsort(probe_pid, kind="stable")
+    probe_bounds = np.searchsorted(probe_pid[probe_order], np.arange(count + 1))
+
+    def join_partition(
+        partition: int,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        # positions into probe_values/build_values, each ascending (stable
+        # sort over ascending input positions)
+        probe_sel = probe_order[probe_bounds[partition] : probe_bounds[partition + 1]]
+        build_sel = build_order[build_bounds[partition] : build_bounds[partition + 1]]
+        empty = (
+            probe_sel,
+            np.zeros(probe_sel.size, dtype=np.intp),
+            _EMPTY_INDICES,
+            _EMPTY_INDICES,
+        )
+        if probe_sel.size == 0 or build_sel.size == 0:
+            return empty
+        partition_build = build_values[build_sel]
+        sorter = np.argsort(partition_build, kind="stable")
+        sorted_values = partition_build[sorter]
+        partition_probe = probe_values[probe_sel]
+        lo = np.searchsorted(sorted_values, partition_probe, side="left")
+        hi = np.searchsorted(sorted_values, partition_probe, side="right")
+        counts = hi - lo
+        total = int(counts.sum())
+        if total == 0:
+            return probe_sel, counts, _EMPTY_INDICES, _EMPTY_INDICES
+        # per probe row, enumerate its run [lo, hi) of the sorted build side;
+        # the stable sorter keeps equal keys in ascending build-row order
+        run_starts = np.repeat(np.cumsum(counts) - counts, counts)
+        run_offsets = np.arange(total) - run_starts
+        matches = build_rows[build_sel[sorter[run_offsets + np.repeat(lo, counts)]]]
+        return probe_sel, counts, matches, run_offsets
+
+    report = runner.run(range(count), join_partition)
+    if report.failure_count:
+        return None
+    parts = report.values()
+    # global per-probe-row match counts fix each row's output slot range —
+    # the canonical probe-major layout, independent of the partitioning
+    match_counts = np.zeros(probe_rows.size, dtype=np.intp)
+    for probe_sel, counts, _, _ in parts:
+        if probe_sel.size:
+            match_counts[probe_sel] = counts
+    total = int(match_counts.sum())
+    if total == 0:
+        return _EMPTY_INDICES, _EMPTY_INDICES
+    starts = np.cumsum(match_counts) - match_counts
+    left_indices = np.repeat(probe_rows, match_counts)
+    right_indices = np.empty(total, dtype=np.intp)
+    for probe_sel, counts, matches, run_offsets in parts:
+        if matches.size == 0:
+            continue
+        right_indices[np.repeat(starts[probe_sel], counts) + run_offsets] = matches
+    return left_indices, right_indices

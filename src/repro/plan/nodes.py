@@ -260,15 +260,21 @@ class Join(_NodeBase):
     build_key: Optional[str] = "right"
     strategy: str = NESTED_LOOP
     build_side: str = "right"
+    #: cost-based parallel-execution hint: ``True`` = partition across
+    #: workers, ``False`` = stay serial, ``None`` (no statistics) = let the
+    #: engine decide from actual input sizes.  Purely physical — results are
+    #: identical either way.
+    parallel: Optional[bool] = None
 
     def children(self) -> Tuple["PlanNode", ...]:
         return (self.left, self.right)
 
     def describe(self) -> str:
         build = "" if self.build_side == "right" else f", build={self.build_side}"
+        flags = ", parallel" if self.parallel else ""
         return (
             f"Join({self.left_key.render()} = {self.right_key.render()}, "
-            f"strategy={self.strategy}{build})"
+            f"strategy={self.strategy}{build}{flags})"
         )
 
 
@@ -341,6 +347,8 @@ class Aggregate(_NodeBase):
     child: "PlanNode"
     keys: Tuple[GroupKey, ...]
     outputs: Tuple[OutputExpr, ...]
+    #: cost-based parallel-execution hint (see :attr:`Join.parallel`).
+    parallel: Optional[bool] = None
 
     def children(self) -> Tuple["PlanNode", ...]:
         return (self.child,)
@@ -348,7 +356,8 @@ class Aggregate(_NodeBase):
     def describe(self) -> str:
         keys = ", ".join(key.render() for key in self.keys)
         outputs = ", ".join(output.render() for output in self.outputs)
-        return f"Aggregate(keys=[{keys}], outputs=[{outputs}])"
+        flags = ", parallel" if self.parallel else ""
+        return f"Aggregate(keys=[{keys}], outputs=[{outputs}]{flags})"
 
 
 @dataclass(frozen=True)

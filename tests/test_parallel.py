@@ -1,0 +1,465 @@
+"""The parallel pipeline's determinism contract, kernel by kernel.
+
+Every partitioned/parallel kernel in :mod:`repro.executor.parallel` must
+return exactly what its serial counterpart would — for any worker count and
+any morsel split — or decline with ``None``.  These tests pin that contract
+three ways: direct kernel-vs-serial-kernel equivalence (including the merge
+edge cases: AVG's order-exact fallback, DISTINCT re-dedup, empty partitions,
+single-group skew, NaN-led MIN/MAX), a worker-count-invariance sweep of full
+query results over the fuzz corpora, and the cost-based ``parallel`` hint
+plumbing (threshold rule, plan explain, engine bypass on ``parallel=False``).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+import repro.executor.columnar as columnar_module
+from repro.database.typed import build_typed_column
+from repro.executor import ColumnarBackend, InterpreterBackend
+from repro.executor.columnar import _vector_join_indices
+from repro.executor.functions import apply_aggregate, grouped_aggregate_vector
+from repro.executor.parallel import (
+    morsel_ranges,
+    parallel_encode,
+    parallel_group_ids,
+    parallel_grouped_aggregate,
+    partitioned_join_indices,
+)
+from repro.plan.cost import PARALLEL_ROW_THRESHOLD, CostModel
+from repro.plan.nodes import Aggregate, Join, iter_nodes
+from repro.plan.optimizer import OptimizerConfig
+from repro.runtime.runner import BatchRunner
+from repro.workload import SchemaGraphConfig, WorkloadGenerator, build_workload_database
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def serial_group_ids(codes: np.ndarray):
+    """The serial first-seen encode (mirrors ``ColumnarEngine._group_ids``)."""
+    _, first_idx, inverse = np.unique(codes, return_index=True, return_inverse=True)
+    order = np.argsort(first_idx, kind="stable")
+    rank = np.empty(order.size, dtype=np.intp)
+    rank[order] = np.arange(order.size)
+    return rank[inverse], first_idx[order], order.size
+
+
+def null_coded(values: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Collapse (values, mask) into one code array where NULL is a value."""
+    coded = values.astype(np.float64).copy()
+    coded[mask] = np.inf  # a sentinel no generated value uses
+    return coded
+
+
+# -- group encode ------------------------------------------------------------
+
+
+class TestParallelEncode:
+    @pytest.mark.parametrize("workers", (2, 4, 8))
+    @pytest.mark.parametrize("morsel", (1, 7, 64))
+    def test_matches_serial_first_seen_encode(self, workers, morsel):
+        rng = np.random.default_rng(20 * workers + morsel)
+        length = 500
+        values = rng.integers(0, 40, size=length).astype(np.float64)
+        mask = rng.random(length) < 0.2
+        runner = BatchRunner(max_workers=workers)
+        ranges = morsel_ranges(length, morsel)
+        encoded = parallel_encode(values, mask, ranges, runner)
+        assert encoded is not None
+        gid, first_rows, count = encoded
+        exp_gid, exp_first, exp_count = serial_group_ids(null_coded(values, mask))
+        assert count == exp_count
+        np.testing.assert_array_equal(gid, exp_gid)
+        np.testing.assert_array_equal(first_rows, exp_first)
+
+    def test_multi_key_combine_matches_serial(self):
+        rng = np.random.default_rng(3)
+        length = 400
+        key_a = rng.integers(0, 6, size=length).astype(np.float64)
+        key_b = rng.integers(0, 7, size=length).astype(np.float64)
+        mask_b = rng.random(length) < 0.15
+        runner = BatchRunner(max_workers=4)
+        ranges = morsel_ranges(length, 17)
+        encoded = parallel_group_ids(
+            [(key_a, None), (key_b, mask_b)], ranges, runner
+        )
+        assert encoded is not None
+        gid, _, count = encoded
+        # serial reference: combine per-key codes pairwise, re-rank first-seen
+        code_a, _, count_a = serial_group_ids(key_a)
+        code_b, _, _ = serial_group_ids(null_coded(key_b, mask_b))
+        exp_gid, _, exp_count = serial_group_ids(code_a * 1000 + code_b)
+        assert count == exp_count
+        np.testing.assert_array_equal(gid, exp_gid)
+
+    def test_text_keys_match_serial(self):
+        rng = random.Random(9)
+        values = [f"name {rng.randrange(12)}" for _ in range(300)]
+        column = build_typed_column(
+            [None if rng.random() < 0.1 else value for value in values]
+        )
+        runner = BatchRunner(max_workers=4)
+        ranges = morsel_ranges(len(column), 23)
+        encoded = parallel_encode(column.data, column.mask, ranges, runner)
+        assert encoded is not None
+        gid = encoded[0]
+        # serial reference over the object values (dict first-seen codes)
+        seen = {}
+        expected = [
+            seen.setdefault(value, len(seen)) for value in column.objects.tolist()
+        ]
+        np.testing.assert_array_equal(gid, np.asarray(expected))
+
+
+# -- partial-aggregate merges ------------------------------------------------
+
+
+def run_both(name, column, gid, group_count, distinct, morsel, workers=4):
+    """(parallel result, serial kernel result) for one aggregate setup."""
+    runner = BatchRunner(max_workers=workers)
+    ranges = morsel_ranges(len(column), morsel)
+    parallel = parallel_grouped_aggregate(
+        name, column, gid, group_count, distinct, ranges, runner
+    )
+    serial = grouped_aggregate_vector(name, column, gid, group_count, distinct=distinct)
+    return parallel, serial
+
+
+def assert_values_equal(actual, expected):
+    assert actual is not None
+    assert len(actual) == len(expected)
+    for left, right in zip(actual, expected):
+        if isinstance(left, float) and isinstance(right, float) and math.isnan(left):
+            assert math.isnan(right)
+        else:
+            assert left == right and type(left) is type(right)
+
+
+class TestPartialAggregateMerge:
+    def test_avg_merge_on_non_integral_values_is_order_exact(self):
+        # fractional values make per-morsel partial sums non-associative, so
+        # the kernel must fall back to the serial row-order fold — the result
+        # has to be bit-identical, not merely close
+        rng = np.random.default_rng(11)
+        values = (rng.random(600) * 10 - 5).tolist()
+        column = build_typed_column(values)
+        gid = np.asarray(rng.integers(0, 9, size=600), dtype=np.intp)
+        for morsel in (1, 13, 100):
+            parallel, serial = run_both("AVG", column, gid, 9, False, morsel)
+            assert_values_equal(parallel, serial)
+
+    def test_integer_sum_merges_partials_exactly(self):
+        rng = np.random.default_rng(12)
+        values = rng.integers(-1000, 1000, size=500).tolist()
+        column = build_typed_column(
+            [None if index % 17 == 0 else value for index, value in enumerate(values)]
+        )
+        gid = np.asarray(rng.integers(0, 5, size=500), dtype=np.intp)
+        for name in ("SUM", "AVG"):
+            parallel, serial = run_both(name, column, gid, 5, False, 31)
+            assert_values_equal(parallel, serial)
+
+    def test_distinct_merges_re_dedupe_across_morsels(self):
+        # the same (group, value) pair lands in several morsels; the global
+        # re-dedup must count/sum it once, like the serial single-pass dedupe
+        rng = np.random.default_rng(13)
+        values = rng.integers(0, 8, size=400).astype(float).tolist()
+        column = build_typed_column(values)
+        gid = np.asarray(rng.integers(0, 4, size=400), dtype=np.intp)
+        for name in ("COUNT", "SUM", "AVG"):
+            parallel, serial = run_both(name, column, gid, 4, True, 9)
+            assert_values_equal(parallel, serial)
+
+    def test_empty_partitions_and_groups(self):
+        # group 2 never occurs; morsel size 4 gives several morsels with no
+        # rows of some groups — partials must merge to the serial None/0
+        column = build_typed_column([1.0, None, 3.0, 1.0, None, 7.0, 2.0, 2.0])
+        gid = np.asarray([0, 0, 1, 1, 3, 3, 4, 4], dtype=np.intp)
+        for name, distinct in (
+            ("COUNT", False), ("COUNT", True), ("SUM", False),
+            ("AVG", False), ("MIN", False), ("MAX", False),
+        ):
+            parallel, serial = run_both(name, column, gid, 5, distinct, 4)
+            assert_values_equal(parallel, serial)
+
+    def test_single_group_skew(self):
+        # every row in one group: the worst-case merge fan-in (every morsel
+        # contributes a partial for the same group)
+        rng = np.random.default_rng(14)
+        values = (rng.random(300) * 100).tolist()
+        column = build_typed_column(values)
+        gid = np.zeros(300, dtype=np.intp)
+        for name in ("COUNT", "SUM", "AVG", "MIN", "MAX"):
+            parallel, serial = run_both(name, column, gid, 1, False, 7)
+            assert_values_equal(parallel, serial)
+
+    @pytest.mark.parametrize("morsel", (3, 10, 50))
+    def test_nan_min_max_matches_scalar_fold(self, morsel):
+        # NaN loses every comparison in the scalar fold: a group keeps NaN
+        # only when NaN is its first value.  Split points around the NaN rows
+        # must not change that.
+        values = [
+            float("nan"), 2.0, 5.0, float("nan"), 1.0,
+            3.0, float("nan"), None, 4.0, float("nan"),
+        ] * 12
+        column = build_typed_column(values)
+        gid = np.asarray([index % 4 for index in range(len(values))], dtype=np.intp)
+        for name in ("MIN", "MAX"):
+            parallel, serial = run_both(name, column, gid, 4, False, morsel)
+            assert_values_equal(parallel, serial)
+            # and the serial vector kernel itself matches the scalar fold
+            members = {g: [] for g in range(4)}
+            for row, group in enumerate(gid.tolist()):
+                members[group].append(column.objects[row])
+            expected = [apply_aggregate(name, members[g]) for g in range(4)]
+            assert_values_equal(serial, expected)
+
+    def test_nan_count_distinct_counts_identity_distinct_nans(self):
+        nan = float("nan")
+        values = [nan, 1.0, nan, 2.0, float("nan"), 1.0, None, float("nan")]
+        column = build_typed_column(values)
+        gid = np.asarray([0, 0, 0, 1, 1, 1, 0, 0], dtype=np.intp)
+        parallel, serial = run_both("COUNT", column, gid, 2, True, 2)
+        # scalar semantics: set() dedups NaN by identity, so group 0 holds
+        # {nan(id a), 1.0, nan(id b)} and group 1 {2.0, nan(id c), 1.0}
+        members = {0: [], 1: []}
+        for row, group in enumerate(gid.tolist()):
+            members[group].append(column.objects[row])
+        expected = [
+            apply_aggregate("COUNT", members[g], distinct=True) for g in (0, 1)
+        ]
+        assert serial == expected
+        assert parallel == expected
+
+    def test_declines_mirror_the_serial_kernel(self):
+        runner = BatchRunner(max_workers=2)
+        mixed = build_typed_column([1, "two", 3, "four"] * 10)
+        gid = np.zeros(40, dtype=np.intp)
+        ranges = morsel_ranges(40, 10)
+        for name in ("SUM", "MIN"):
+            assert grouped_aggregate_vector(name, mixed, gid, 1) is None
+            assert (
+                parallel_grouped_aggregate(name, mixed, gid, 1, False, ranges, runner)
+                is None
+            )
+
+
+# -- partitioned join --------------------------------------------------------
+
+
+class TestPartitionedJoin:
+    @pytest.mark.parametrize("workers", (2, 4, 8))
+    def test_matches_sort_kernel_on_number_keys(self, workers):
+        rng = random.Random(workers)
+        probe = build_typed_column(
+            [None if rng.random() < 0.05 else rng.randrange(200) for _ in range(3000)]
+        )
+        build = build_typed_column(
+            [None if rng.random() < 0.05 else rng.randrange(200) for _ in range(2500)]
+        )
+        expected = _vector_join_indices(probe, build)
+        runner = BatchRunner(max_workers=workers)
+        actual = partitioned_join_indices(probe, build, runner, morsel_size=100)
+        assert actual is not None
+        np.testing.assert_array_equal(actual[0], expected[0])
+        np.testing.assert_array_equal(actual[1], expected[1])
+
+    def test_matches_sort_kernel_on_text_keys(self):
+        rng = random.Random(5)
+        probe = build_typed_column([f"key {rng.randrange(60)}" for _ in range(1500)])
+        build = build_typed_column([f"key {rng.randrange(80)}" for _ in range(1200)])
+        expected = _vector_join_indices(probe, build)
+        runner = BatchRunner(max_workers=4)
+        actual = partitioned_join_indices(probe, build, runner, morsel_size=64)
+        assert actual is not None
+        np.testing.assert_array_equal(actual[0], expected[0])
+        np.testing.assert_array_equal(actual[1], expected[1])
+
+    def test_declines_on_small_or_degenerate_inputs(self):
+        runner = BatchRunner(max_workers=4)
+        small = build_typed_column(list(range(10)))
+        # too small to split into two partitions at this morsel size
+        assert partitioned_join_indices(small, small, runner, morsel_size=100) is None
+        constant = build_typed_column([7] * 400)
+        # every key equal: partitioning degenerates to one populated
+        # partition, but the (cross-join) result must still be exact
+        degenerate = partitioned_join_indices(constant, constant, runner, morsel_size=100)
+        expected = _vector_join_indices(constant, constant)
+        np.testing.assert_array_equal(degenerate[0], expected[0])
+        np.testing.assert_array_equal(degenerate[1], expected[1])
+        nan_keys = build_typed_column([1.0, float("nan")] * 2000)
+        assert (
+            partitioned_join_indices(nan_keys, nan_keys, runner, morsel_size=100)
+            is None
+        )
+
+    def test_mixed_kind_sides_are_an_empty_join(self):
+        runner = BatchRunner(max_workers=2)
+        numbers = build_typed_column(list(range(2000)))
+        text = build_typed_column([f"v{i}" for i in range(2000)])
+        result = partitioned_join_indices(numbers, text, runner, morsel_size=100)
+        assert result is not None
+        assert result[0].size == 0 and result[1].size == 0
+
+
+# -- worker-count invariance over the fuzz corpora ---------------------------
+
+
+@pytest.fixture(scope="module")
+def star_database():
+    return build_workload_database(
+        SchemaGraphConfig(seed=7, table_count=8, topology="star", name="par_db"),
+        total_rows=2_000,
+    )
+
+
+@pytest.fixture(scope="module")
+def null_heavy_database():
+    return build_workload_database(
+        SchemaGraphConfig(
+            seed=13, table_count=6, topology="snowflake", name="par_null_db"
+        ),
+        total_rows=1_500,
+        fk_null_fraction=0.25,
+    )
+
+
+class TestWorkerCountInvariance:
+    def _sweep(self, database, query_count=60, morsel_size=64):
+        serial = ColumnarBackend(optimize=True, cost_based=False)
+        queries, baselines = [], []
+        for seed in range(query_count):
+            query = WorkloadGenerator(seed=seed).generate(database)
+            try:
+                baselines.append(serial.execute(query, database))
+            except Exception:
+                continue
+            queries.append(query)
+        assert len(queries) >= query_count // 2
+        for workers in WORKER_COUNTS:
+            backend = ColumnarBackend(
+                optimize=True,
+                cost_based=False,
+                max_workers=workers,
+                morsel_size=morsel_size,
+            )
+            for query, expected in zip(queries, baselines):
+                actual = backend.execute(query, database)
+                assert actual.columns == expected.columns, (workers, query)
+                assert actual.rows == expected.rows, (workers, query)
+
+    def test_star_corpus_is_worker_count_invariant(self, star_database):
+        self._sweep(star_database)
+
+    def test_null_heavy_corpus_is_worker_count_invariant(self, null_heavy_database):
+        self._sweep(null_heavy_database, morsel_size=32)
+
+    def test_interpreter_oracle_agrees(self, star_database):
+        oracle = InterpreterBackend()
+        backend = ColumnarBackend(
+            optimize=True, cost_based=False, max_workers=4, morsel_size=64
+        )
+        for seed in range(30):
+            query = WorkloadGenerator(seed=seed).generate(star_database)
+            try:
+                expected = oracle.execute(query, star_database)
+            except Exception:
+                continue
+            actual = backend.execute(query, star_database)
+            assert actual.rows == expected.rows, query
+
+
+# -- cost-based operator choice ----------------------------------------------
+
+
+class _InflatedCostModel(CostModel):
+    """A cost model that pretends every input is huge (forces parallel=True)."""
+
+    def cardinality(self, node):  # noqa: D102 - test double
+        return PARALLEL_ROW_THRESHOLD * 2
+
+
+class TestCostBasedParallelChoice:
+    def test_parallel_ops_is_a_default_rule(self):
+        assert "parallel_ops" in OptimizerConfig().rule_names()
+        assert "parallel_ops" not in OptimizerConfig(parallel_ops=False).rule_names()
+
+    def _planned(self, database, backend):
+        from repro.dvq import parse_dvq
+
+        table = database.schema.tables[0]
+        key = table.columns[1].name
+        query = parse_dvq(
+            f"Visualize BAR SELECT {key} , COUNT(*) FROM {table.name} "
+            f"GROUP BY {key}"
+        )
+        return backend.plan(query, database)
+
+    def test_small_inputs_are_pinned_serial(self, star_database):
+        backend = ColumnarBackend(optimize=True, cost_based=True)
+        plan = self._planned(star_database, backend)
+        aggregates = [n for n in iter_nodes(plan) if isinstance(n, Aggregate)]
+        assert aggregates and all(n.parallel is False for n in aggregates)
+
+    def test_unhinted_plans_stay_unhinted_without_statistics(self, star_database):
+        backend = ColumnarBackend(optimize=True, cost_based=False)
+        plan = self._planned(star_database, backend)
+        for node in iter_nodes(plan):
+            if isinstance(node, (Aggregate, Join)):
+                assert node.parallel is None
+
+    def test_large_estimates_flip_the_hint_and_the_explain(self, star_database):
+        from repro.plan.optimizer import choose_parallel_operators
+
+        backend = ColumnarBackend(optimize=True, cost_based=True)
+        plan = self._planned(star_database, backend)
+        inflated = choose_parallel_operators(plan, _InflatedCostModel(star_database))
+        aggregates = [n for n in iter_nodes(inflated) if isinstance(n, Aggregate)]
+        assert aggregates and all(n.parallel is True for n in aggregates)
+        assert any(", parallel" in node.describe() for node in aggregates)
+
+    def test_threshold_boundary(self, star_database):
+        model = CostModel(star_database)
+        backend = ColumnarBackend(optimize=True, cost_based=False)
+        plan = self._planned(star_database, backend)
+        aggregate = next(n for n in iter_nodes(plan) if isinstance(n, Aggregate))
+        # a ~2k-row corpus sits far below the 100k-row break-even
+        assert model.cardinality(aggregate.child) < PARALLEL_ROW_THRESHOLD
+        assert not model.parallel_profitable(aggregate)
+
+    def test_engine_skips_parallel_kernels_when_pinned_serial(
+        self, star_database, monkeypatch
+    ):
+        calls = []
+        real = columnar_module.parallel_group_ids
+
+        def spy(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(columnar_module, "parallel_group_ids", spy)
+        pinned = ColumnarBackend(
+            optimize=True, cost_based=True, max_workers=4, morsel_size=32
+        )
+        unhinted = ColumnarBackend(
+            optimize=True, cost_based=False, max_workers=4, morsel_size=32
+        )
+        queries = [
+            WorkloadGenerator(seed=seed).generate(star_database) for seed in range(20)
+        ]
+        for query in queries:
+            try:
+                pinned.execute(query, star_database)
+            except Exception:
+                continue
+        assert not calls  # every operator pinned serial at this scale
+        for query in queries:
+            try:
+                unhinted.execute(query, star_database)
+            except Exception:
+                continue
+        assert calls  # size-based runtime default engages the kernels

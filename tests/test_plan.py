@@ -236,10 +236,11 @@ class TestOptimizer:
     def test_rule_names_reflect_toggles(self):
         assert OptimizerConfig().rule_names() == (
             "fold_constants", "pushdown", "join_order", "build_side",
-            "filter_order", "hash_join", "pruning",
+            "filter_order", "parallel_ops", "hash_join", "pruning",
         )
         assert OptimizerConfig(pushdown=False, join_order=False).rule_names() == (
-            "fold_constants", "build_side", "filter_order", "hash_join", "pruning",
+            "fold_constants", "build_side", "filter_order", "parallel_ops",
+            "hash_join", "pruning",
         )
 
 

@@ -146,9 +146,13 @@ class TestNullKeyJoins:
         assert not matrix["columnar-python"].vectorize
         assert matrix["columnar-cbo"].cost_based
         assert not matrix["columnar"].cost_based
+        parallel = matrix["columnar-parallel"]
+        assert parallel._engine.max_workers == 4
+        # small morsels so the partitioned kernels engage at fuzz scale
+        assert parallel._engine.morsel_size == 512
         assert set(matrix) == {
             "sqlite", "columnar-cbo", "columnar", "columnar-noopt",
-            "columnar-python",
+            "columnar-python", "columnar-parallel",
         }
 
 
@@ -159,7 +163,8 @@ class TestInjectedBugRegression:
         assert report.mismatches
         for mismatch in report.mismatches:
             assert mismatch.engine in (
-                "columnar-cbo", "columnar", "columnar-noopt", "columnar-python"
+                "columnar-cbo", "columnar", "columnar-noopt", "columnar-python",
+                "columnar-parallel",
             )
             assert mismatch.kind == "rows"
             minimized = parse_dvq(mismatch.minimized_text)
