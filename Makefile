@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-diff bench bench-index bench-index-check bench-plan bench-plan-check bench-vector bench-vector-check bench-aqp bench-aqp-check bench-parallel bench-parallel-check bench-summary bench-paper-scale fuzz fuzz-check quickstart lint
+.PHONY: test test-fast test-diff bench bench-index bench-index-check bench-plan bench-plan-check bench-vector bench-vector-check bench-aqp bench-aqp-check bench-parallel bench-parallel-check bench-sort bench-sort-check bench-summary bench-paper-scale fuzz fuzz-check quickstart lint
 
 test:            ## tier-1 suite (tests/ + benchmarks/, fail fast)
 	$(PYTHON) -m pytest -x -q
@@ -47,6 +47,12 @@ bench-parallel:  ## parallel-pipeline benchmark: >=3x bar over max_workers=1 at 
 
 bench-parallel-check: ## parallel benchmark correctness assertions only (no timing bar; used by CI)
 	$(PYTHON) -m pytest benchmarks -q -m parallel -k "not at_least_3x"
+
+bench-sort:      ## sort/top-k benchmark: >=5x vectorized + >=2x parallel bars at 1M rows (-m sort)
+	$(PYTHON) -m pytest benchmarks -q -s -m sort
+
+bench-sort-check: ## sort benchmark correctness assertions only (no timing bars; used by CI)
+	$(PYTHON) -m pytest benchmarks -q -m sort -k "not at_least_5x"
 
 bench-summary:   ## one trajectory table from every benchmarks/BENCH_*.json
 	$(PYTHON) benchmarks/summarize.py

@@ -96,6 +96,10 @@ class DataGenerator:
         fk_null_fraction: when > 0, this fraction of *foreign-key* values is
             additionally nulled out — the knob the differential fuzzer uses
             to exercise SQL NULL-join semantics (a NULL key never matches).
+        nan_fraction: when > 0, this fraction of non-key NUMBER values
+            becomes ``float("nan")`` — the knob sort-heavy fuzz sweeps use to
+            exercise the NaN rank of the canonical value order (finite
+            numbers < NaN < text < NULL) on ORDER BY columns.
         skew: when > 0, text values and foreign-key references are drawn
             from a power-law over their pools instead of uniformly — higher
             values concentrate mass on the first pool entries, producing the
@@ -117,6 +121,7 @@ class DataGenerator:
         skew: float = 0.0,
         correlated: bool = False,
         fk_null_fraction: float = 0.0,
+        nan_fraction: float = 0.0,
     ):
         self.seed = seed
         self.rows_per_table = rows_per_table
@@ -124,6 +129,7 @@ class DataGenerator:
         self.skew = skew
         self.correlated = correlated
         self.fk_null_fraction = fk_null_fraction
+        self.nan_fraction = nan_fraction
 
     def populate(
         self,
@@ -159,6 +165,8 @@ class DataGenerator:
             self._inject_nulls(database, rng)
         if self.fk_null_fraction > 0:
             self._inject_fk_nulls(database, rng)
+        if self.nan_fraction > 0:
+            self._inject_nans(database, rng)
         return database
 
     def _generate_row(
@@ -242,6 +250,31 @@ class DataGenerator:
             for row in table.rows:
                 if rng.random() < self.fk_null_fraction:
                     row[canonical] = None
+
+    def _inject_nans(self, database: Database, rng: random.Random) -> None:
+        """Turn ``nan_fraction`` of non-key NUMBER values into ``NaN``.
+
+        Key columns stay intact for the same reason :meth:`_inject_nulls`
+        protects them (NaN keys would push joins outside the portable
+        subset); only this extra pass consumes RNG, so ``nan_fraction=0``
+        keeps every historical stream bit-identical.
+        """
+        protected = set()
+        for foreign_key in database.schema.foreign_keys:
+            protected.add((foreign_key.table.lower(), foreign_key.column.lower()))
+            protected.add((foreign_key.ref_table.lower(), foreign_key.ref_column.lower()))
+        for table in database.tables():
+            for column in table.schema.columns:
+                key = (table.name.lower(), column.name.lower())
+                if (
+                    column.ctype is not ColumnType.NUMBER
+                    or column.is_primary
+                    or key in protected
+                ):
+                    continue
+                for row in table.rows:
+                    if row[column.name] is not None and rng.random() < self.nan_fraction:
+                        row[column.name] = float("nan")
 
     def _number_range(self, semantic: str) -> tuple:
         for key, value_range in _SEMANTIC_NUMBER_RANGES.items():

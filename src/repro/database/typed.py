@@ -51,7 +51,7 @@ class TypedColumn:
         mask: boolean array, ``True`` where the value is NULL.
     """
 
-    __slots__ = ("kind", "objects", "data", "mask", "_lowered", "_has_nan")
+    __slots__ = ("kind", "objects", "data", "mask", "_lowered", "_has_nan", "_has_bool")
 
     def __init__(
         self,
@@ -61,6 +61,7 @@ class TypedColumn:
         mask: np.ndarray,
         lowered: Optional[np.ndarray] = None,
         has_nan: Optional[bool] = None,
+        has_bool: Optional[bool] = None,
     ):
         self.kind = kind
         self.objects = objects
@@ -68,6 +69,7 @@ class TypedColumn:
         self.mask = mask
         self._lowered = lowered
         self._has_nan = has_nan
+        self._has_bool = has_bool
 
     def __len__(self) -> int:
         return len(self.objects)
@@ -102,6 +104,25 @@ class TypedColumn:
                 self._has_nan = False
         return self._has_nan
 
+    @property
+    def has_bool(self) -> bool:
+        """True when a number column may contain ``bool`` values.
+
+        The float64 shadow stores ``True``/``False`` as ``1.0``/``0.0``, so
+        any kernel whose scalar counterpart treats bools differently from
+        numbers (the legacy ORDER BY key sorts them as text) must consult
+        this flag and decline.  Like :attr:`has_nan`, a safe
+        over-approximation after :meth:`take` / :meth:`slice`.
+        """
+        if self._has_bool is None:
+            if self.kind == KIND_NUMBER:
+                self._has_bool = any(
+                    isinstance(value, bool) for value in self.objects.tolist()
+                )
+            else:
+                self._has_bool = False
+        return self._has_bool
+
     def take(self, indices: np.ndarray) -> "TypedColumn":
         """Gather rows by index into a new, aligned :class:`TypedColumn`."""
         return TypedColumn(
@@ -111,6 +132,7 @@ class TypedColumn:
             self.mask[indices],
             lowered=None if self._lowered is None else self._lowered[indices],
             has_nan=self._has_nan,
+            has_bool=self._has_bool,
         )
 
     def slice(self, start: int, stop: int) -> "TypedColumn":
@@ -122,6 +144,7 @@ class TypedColumn:
             self.mask[start:stop],
             lowered=None if self._lowered is None else self._lowered[start:stop],
             has_nan=self._has_nan,
+            has_bool=self._has_bool,
         )
 
 
@@ -156,11 +179,13 @@ def build_typed_column(values: List[object]) -> TypedColumn:
     mask = np.fromiter((value is None for value in values), np.bool_, count=len(values))
     number = True
     text = True
+    has_bool = False
     for value in values:
         if value is None:
             continue
         if isinstance(value, bool):
             text = False
+            has_bool = True
         elif isinstance(value, (int, float)):
             text = False
             if isinstance(value, int) and not -_FLOAT_EXACT_INT <= value <= _FLOAT_EXACT_INT:
@@ -179,10 +204,10 @@ def build_typed_column(values: List[object]) -> TypedColumn:
         shadow = objects.copy()
         shadow[mask] = 0.0
         data = shadow.astype(np.float64)
-        return TypedColumn(KIND_NUMBER, objects, data, mask)
+        return TypedColumn(KIND_NUMBER, objects, data, mask, has_bool=has_bool)
     if text:
         shadow = objects.copy()
         shadow[mask] = ""
         data = shadow.astype(np.str_)
-        return TypedColumn(KIND_TEXT, objects, data, mask)
-    return TypedColumn(KIND_OBJECT, objects, None, mask, has_nan=False)
+        return TypedColumn(KIND_TEXT, objects, data, mask, has_bool=False)
+    return TypedColumn(KIND_OBJECT, objects, None, mask, has_nan=False, has_bool=False)

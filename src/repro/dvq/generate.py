@@ -20,6 +20,7 @@ reproducible.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import List, Optional, Sequence, Tuple
 
@@ -381,11 +382,17 @@ class RandomDVQGenerator:
     # drive choices from collected table statistics instead of raw scans.
 
     def _literal_pool(self, database: Database, scoped: _ScopedColumn) -> List[object]:
-        """Non-null literals predicates on ``scoped`` may compare against."""
+        """Non-null literals predicates on ``scoped`` may compare against.
+
+        NaN is excluded like NULL: it has no DVQ text form, so a NaN literal
+        could never survive the serialize → parse round-trip the fuzz
+        harness requires of every generated query.
+        """
         return [
             value
             for value in database.table(scoped.table_name).column_values(scoped.column.name)
             if value is not None
+            and not (isinstance(value, float) and math.isnan(value))
         ]
 
     def _group_key_pool(

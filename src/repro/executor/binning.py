@@ -9,6 +9,7 @@ per *distinct* value and broadcast the labels back through the unique-inverse
 
 from __future__ import annotations
 
+import math
 from typing import Optional, Tuple
 
 import numpy as np
@@ -62,9 +63,14 @@ def bin_value(value: object, unit: BinUnit, interval: int = 100) -> object:
       and to plain integer years for the YEAR unit.
     * ``INTERVAL`` buckets numeric values into fixed-width ranges.
     * ``None`` values map to ``None`` so they can be filtered by callers.
+    * NaN maps to the text label ``"NaN"`` for every unit: no year or
+      interval contains it, and a stable label keeps grouping (and the
+      canonical text-rank sort position) deterministic across engines.
     """
     if value is None:
         return None
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
     parsed = _parse_date(value)
     if unit is BinUnit.YEAR:
         if parsed is not None:
@@ -107,7 +113,8 @@ def bin_encode(
     if column.kind not in (KIND_NUMBER, KIND_TEXT):
         return None
     if column.kind == KIND_NUMBER and column.has_nan:
-        # int(nan) raises; let the scalar path raise it identically
+        # NaN needs its dedicated scalar label and np.unique's NaN handling
+        # is version-sensitive; decline so the caller maps bin_value per row
         return None
     length = len(column)
     codes = np.zeros(length, dtype=np.intp)

@@ -67,12 +67,20 @@ from repro.executor.binning import bin_encode, bin_value
 from repro.executor.errors import ExecutionError
 from repro.executor.executor import ExecutionResult
 from repro.executor.functions import apply_aggregate, grouped_aggregate_vector
-from repro.executor.ordering import canonical_sorted, legacy_order_key
+from repro.executor.ordering import (
+    canonical_top_k,
+    encode_sort_key,
+    legacy_order_key,
+    sort_order,
+    topk_order,
+)
 from repro.executor.parallel import (
     morsel_ranges,
     parallel_group_ids,
     parallel_grouped_aggregate,
+    parallel_topk,
     partitioned_join_indices,
+    partitioned_sort,
 )
 from repro.executor.predicates import evaluate_condition, evaluate_condition_vector
 from repro.plan.nodes import (
@@ -256,6 +264,10 @@ class ColumnarEngine:
         if isinstance(node, Limit):
             return self._limit(node, database)
         if isinstance(node, Sort):
+            if self.vectorize and isinstance(node.child, Project):
+                rows = self._sort_project(node, node.child, database)
+                if rows is not None:
+                    return rows
             rows = self._rows(node.child, database)
             index = node.index
 
@@ -267,24 +279,124 @@ class ColumnarEngine:
             return self._aggregate(node, database)
         if isinstance(node, Project):
             batch = self._batch(node.child, database)
-            columns = [batch.column(output.column.key()).objects for output in node.outputs]
-            return [
-                tuple(column[index] for column in columns) for index in range(batch.length)
-            ]
+            return self._gather_project(batch, node)
         raise ExecutionError(f"Unsupported plan root {type(node).__name__}")
 
     def _limit(self, node: Limit, database: Database) -> List[Tuple[object, ...]]:
         child = node.child
         sort = child if isinstance(child, Sort) else None
-        rows = self._rows(sort.child if sort is not None else child, database)
+        producer = sort.child if sort is not None else child
+        if self.vectorize and isinstance(producer, Project):
+            rows = self._topk_project(node, sort, producer, database)
+            if rows is not None:
+                return rows
+        rows = self._rows(producer, database)
         # the deterministic cross-engine top-k cut, shared with
-        # normalize_result via executor.ordering.canonical_sorted
-        rows = canonical_sorted(
+        # normalize_result via executor.ordering (bounded selection)
+        return canonical_top_k(
             rows,
+            node.count,
             index=sort.index if sort is not None else None,
             descending=sort.descending if sort is not None else False,
         )
-        return rows[: node.count]
+
+    # -- vectorized ordering -------------------------------------------------
+
+    @staticmethod
+    def _gather_project(batch: _Batch, project: Project) -> List[Tuple[object, ...]]:
+        columns = [
+            batch.column(output.column.key()).objects for output in project.outputs
+        ]
+        return [
+            tuple(column[index] for column in columns) for index in range(batch.length)
+        ]
+
+    def _sort_project(
+        self, node: Sort, project: Project, database: Database
+    ) -> Optional[List[Tuple[object, ...]]]:
+        """ORDER BY as an index permutation over the batch, or ``None``.
+
+        Encodes the sort column's legacy order into ``uint64`` codes
+        (:func:`~repro.executor.ordering.encode_sort_key`), argsorts stably —
+        ``~codes`` for DESC is the exact reversed key, so ties keep input
+        order just like ``sorted(reverse=True)`` — and only then gathers the
+        output columns through the permuted batch: late materialization now
+        covers the ordering stage.  Declines (to the scalar sort) when the
+        sort column cannot be encoded exactly.
+        """
+        if node.index >= len(project.outputs):
+            return None
+        batch = self._batch(project.child, database)
+        if batch.length == 0:
+            return []
+        column = batch.column(project.outputs[node.index].column.key())
+        codes = encode_sort_key(column, legacy=True)
+        if codes is None:
+            return None
+        if node.descending:
+            codes = ~codes
+        permutation: Optional[np.ndarray] = None
+        if self._runner is not None and node.parallel is not False:
+            permutation = partitioned_sort(codes, (), self._runner, self.morsel_size)
+        if permutation is None:
+            permutation = np.argsort(codes, kind="stable")
+        return self._gather_project(batch.take(permutation), project)
+
+    def _topk_project(
+        self,
+        node: Limit,
+        sort: Optional[Sort],
+        project: Project,
+        database: Database,
+    ) -> Optional[List[Tuple[object, ...]]]:
+        """The canonical top-k cut as an index selection, or ``None``.
+
+        The composite key of :func:`~repro.executor.ordering.canonical_sorted`
+        — direction-adjusted primary first, then every output column's
+        canonical code (stable, so full ties keep input order) — feeds
+        :func:`~repro.executor.ordering.topk_order`: an ``argpartition``
+        pivot cut on the primary, then the exact multi-key sort over the
+        pivot-tied candidates only.  Output columns are gathered after the
+        cut, so a ``LIMIT 10`` touches 10 rows of objects, not a million.
+        Declines when any output column cannot be encoded exactly.
+        """
+        batch = self._batch(project.child, database)
+        if batch.length == 0:
+            return []
+        encoded: Dict[Tuple[str, str], np.ndarray] = {}
+        keys: List[np.ndarray] = []
+        for output in project.outputs:
+            key = output.column.key()
+            codes = encoded.get(key)
+            if codes is None:
+                codes = encode_sort_key(batch.column(key))
+                if codes is None:
+                    return None
+                encoded[key] = codes
+            keys.append(codes)
+        if not keys:
+            return None
+        if sort is not None:
+            if sort.index >= len(keys):
+                return None
+            primary = ~keys[sort.index] if sort.descending else keys[sort.index]
+            secondaries = keys
+            hint = sort.parallel
+        else:
+            primary = keys[0]
+            secondaries = keys[1:]
+            hint = node.parallel
+        count = min(node.count, batch.length)
+        indices: Optional[np.ndarray] = None
+        if self._runner is not None and hint is not False:
+            ranges = morsel_ranges(batch.length, self.morsel_size)
+            if len(ranges) >= 2:
+                indices = parallel_topk(
+                    primary, secondaries, count, ranges, self._runner
+                )
+        if indices is None:
+            indices = topk_order(primary, secondaries, count)
+        return self._gather_project(batch.take(indices), project)
 
     # -- aggregation ---------------------------------------------------------
 

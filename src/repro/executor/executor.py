@@ -15,7 +15,11 @@ from repro.dvq.nodes import (
 from repro.executor.binning import bin_value
 from repro.executor.errors import ExecutionError
 from repro.executor.functions import apply_aggregate
-from repro.executor.ordering import canonical_order, legacy_order_key, order_index
+from repro.executor.ordering import (
+    canonical_top_k,
+    legacy_order_key,
+    order_index,
+)
 from repro.executor.predicates import evaluate_where
 
 
@@ -128,9 +132,18 @@ class DVQExecutor:
         else:
             rows = self._execute_flat(query, contexts)
         if query.limit is not None:
-            # a top-k cut must be engine-independent, so order canonically
-            # (see repro.executor.ordering) before slicing
-            rows = canonical_order(rows, query)[: query.limit]
+            # a top-k cut must be engine-independent: the bounded selection
+            # returns canonical_order(rows, query)[:limit] without paying a
+            # full O(n log n) sort for a LIMIT 10 (see repro.executor.ordering)
+            if query.order_by is None:
+                rows = canonical_top_k(rows, query.limit)
+            else:
+                rows = canonical_top_k(
+                    rows,
+                    query.limit,
+                    index=order_index(query),
+                    descending=query.order_by.direction is SortDirection.DESC,
+                )
         else:
             rows = self._apply_order(query, rows)
         columns = [item.render() for item in query.select]

@@ -16,13 +16,31 @@ last ascending and first descending.  ``NaN`` gets its own rank between the
 finite numbers and the strings: a NaN inside a sort-key tuple would otherwise
 break the total order (every ``<`` involving NaN is False), making
 ``canonical_sorted`` and the LIMIT cut depend on input order.
+
+The same contract exists twice, deliberately:
+
+* **scalar** — :func:`value_sort_key` / :func:`legacy_order_key` tuples, used
+  by the interpreter and as the universal fallback, with
+  :func:`canonical_top_k` as the bounded O(n log k) LIMIT cut;
+* **vectorized** — :func:`encode_sort_key` folds each column's
+  *(rank, value, text)* key into one order-isomorphic ``uint64`` code over
+  the typed shadows of :mod:`repro.database.typed` (kind rank + IEEE-754
+  bit-flipped float64, or dictionary codes of the ``<U`` text shadow), so the
+  columnar engine can sort and cut as index permutations
+  (:func:`sort_order` / :func:`topk_order`).  A column the codes cannot
+  represent exactly (object kind; bools under the legacy order) declines to
+  the scalar key — never approximates it.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.database.typed import KIND_NUMBER, KIND_TEXT, TypedColumn
 from repro.dvq.nodes import AggregateExpr, DVQuery, SortDirection
 
 #: Type ranks of the canonical value order: numbers < NaN < strings < NULL.
@@ -137,3 +155,179 @@ def canonical_order(
         index=order_index(query),
         descending=query.order_by.direction is SortDirection.DESC,
     )
+
+
+# -- bounded top-k selection (scalar) ----------------------------------------
+
+
+class _ReversedKey:
+    """Wrap a sort key so ``<`` means the key's ``>`` (for DESC primaries).
+
+    ``heapq.nsmallest`` only needs ``<`` and ``==`` on key-tuple elements, so
+    this is enough to express "primary descending, everything else ascending"
+    as a single smallest-first key.
+    """
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Tuple[int, object, str]):
+        self.key = key
+
+    def __lt__(self, other: "_ReversedKey") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _ReversedKey) and other.key == self.key
+
+
+def canonical_top_k(
+    rows: Sequence[Tuple[object, ...]],
+    count: int,
+    index: Optional[int] = None,
+    descending: bool = False,
+) -> List[Tuple[object, ...]]:
+    """``canonical_sorted(rows, index, descending)[:count]`` without the sort.
+
+    The two-pass stable sort of :func:`canonical_sorted` is equivalent to one
+    stable sort by the composite key *(direction-adjusted primary, full row
+    key)* — ties of the primary keep ascending canonical order either way —
+    and ``heapq.nsmallest`` is documented equivalent to
+    ``sorted(iterable, key=key)[:n]``, so this bounded selection returns the
+    identical cut at O(n log k) instead of O(n log n).
+    """
+    if count >= len(rows):
+        return canonical_sorted(rows, index=index, descending=descending)
+    if count <= 0:
+        return []
+    if index is None:
+        return heapq.nsmallest(count, rows, key=row_sort_key)
+
+    def cut_key(row: Tuple[object, ...]):
+        primary = value_sort_key(row[index] if index < len(row) else None)
+        if descending:
+            return (_ReversedKey(primary), row_sort_key(row))
+        return (primary, row_sort_key(row))
+
+    return heapq.nsmallest(count, rows, key=cut_key)
+
+
+# -- vectorized sort-key encoding --------------------------------------------
+#
+# The columnar engine sorts index permutations, not rows, so it needs the
+# canonical value order above as something NumPy can sort.  Per column,
+# :func:`encode_sort_key` folds the (rank, value, text) key into a single
+# ``uint64`` code that is *order-isomorphic* to the scalar key — code(a) <
+# code(b) exactly when key(a) < key(b), equal exactly when the keys tie.
+# Exact isomorphism (not mere monotonicity) is what makes the downstream
+# kernels correct: a stable argsort over codes equals the stable scalar sort,
+# ``~code`` is the exact descending key (stable argsort over it equals
+# ``sorted(..., reverse=True)``), and the top-k cut's pivot-tie candidate set
+# ``code <= pivot`` contains exactly the rows the scalar cut would consider.
+
+#: IEEE-754 float64 sign bit; flipping it (non-negatives) or the whole word
+#: (negatives) makes float bit patterns sort as the floats do.
+_SIGN_BIT = np.uint64(0x8000000000000000)
+#: Codes of the two ranks above every finite number and every text: NaN sorts
+#: after all numbers (rank 1), NULL after everything (rank 3).  ``+inf``
+#: encodes to 0xFFF0... < _NAN_CODE, so no finite/infinite value collides.
+_NAN_CODE = np.uint64(0xFFFFFFFFFFFFFFFE)
+_NULL_CODE = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _encode_number(column: TypedColumn) -> np.ndarray:
+    # +0.0 collapses -0.0 onto 0.0 first: the scalar key ties them, so their
+    # codes must too (the raw bit patterns would order them strictly)
+    values = column.data + 0.0
+    bits = values.view(np.uint64)
+    negative = (bits & _SIGN_BIT) != 0
+    codes = np.where(negative, ~bits, bits | _SIGN_BIT)
+    nan_mask = np.isnan(values)
+    if nan_mask.any():
+        # every NaN payload (and sign) collapses to the one rank-1 code,
+        # mirroring the scalar key's single (1, 0.0, "") bucket
+        codes[nan_mask] = _NAN_CODE
+    codes[column.mask] = _NULL_CODE
+    return codes
+
+
+def _encode_text(column: TypedColumn, exact_tiebreak: bool) -> np.ndarray:
+    lowered = column.lowered
+    if not exact_tiebreak:
+        # legacy key: case-insensitive only — ranks of the lowered shadow
+        uniques, inverse = np.unique(lowered, return_inverse=True)
+        codes = inverse.astype(np.uint64)
+        codes[column.mask] = np.uint64(uniques.size)
+        return codes
+    # canonical key: (lowered, exact) — rank the pairs lexicographically by
+    # stable lexsort, then assign consecutive codes wherever a pair differs
+    exact = column.data
+    order = np.lexsort((exact, lowered))
+    sorted_lowered = lowered[order]
+    sorted_exact = exact[order]
+    new_pair = np.empty(order.size, dtype=bool)
+    new_pair[0] = True
+    new_pair[1:] = (sorted_lowered[1:] != sorted_lowered[:-1]) | (
+        sorted_exact[1:] != sorted_exact[:-1]
+    )
+    ranks = np.cumsum(new_pair) - 1
+    codes = np.empty(order.size, dtype=np.uint64)
+    codes[order] = ranks
+    codes[column.mask] = np.uint64(ranks[-1] + 1)
+    return codes
+
+
+def encode_sort_key(column: TypedColumn, legacy: bool = False) -> Optional[np.ndarray]:
+    """Ascending ``uint64`` sort codes for one column, or ``None`` to decline.
+
+    Codes are order-isomorphic to :func:`value_sort_key` per value (or to
+    :func:`legacy_order_key` with ``legacy=True``); ``~codes`` is the exact
+    descending key.  Declines on object-kind columns — the typed shadows
+    cannot represent them — and, under the legacy order, on number columns
+    that may contain bools: the float64 shadow stores ``True`` as ``1.0``
+    while :func:`legacy_order_key` sorts bools as the text ``"true"``.
+    """
+    if len(column) == 0:
+        return np.empty(0, dtype=np.uint64)
+    if column.kind == KIND_NUMBER:
+        if legacy and column.has_bool:
+            return None
+        return _encode_number(column)
+    if column.kind == KIND_TEXT:
+        return _encode_text(column, exact_tiebreak=not legacy)
+    return None
+
+
+def sort_order(primary: np.ndarray, secondaries: Sequence[np.ndarray]) -> np.ndarray:
+    """Stable ascending permutation by *(primary, secondaries...)* codes.
+
+    ``np.lexsort`` is stable and keys from its *last* argument first, so ties
+    across every key column keep input order — exactly the scalar stable
+    sort's tiebreak.
+    """
+    keys = tuple(reversed(list(secondaries))) + (primary,)
+    return np.lexsort(keys)
+
+
+def topk_order(
+    primary: np.ndarray, secondaries: Sequence[np.ndarray], count: int
+) -> np.ndarray:
+    """Positions of the ``count`` smallest rows, in final sorted order.
+
+    Equals ``sort_order(primary, secondaries)[:count]`` by construction: the
+    ``np.argpartition`` pivot is the ``count``-th smallest primary code, and
+    because codes are order-isomorphic to the scalar keys, the candidate set
+    ``primary <= pivot`` is a superset of every row the full sort would place
+    in the cut (fewer than ``count`` rows compare strictly below any cut row).
+    Only the candidates pay the exact multi-key sort.
+    """
+    if count <= 0:
+        return np.empty(0, dtype=np.intp)
+    if count >= primary.size:
+        return sort_order(primary, secondaries)
+    partition = np.argpartition(primary, count - 1)[:count]
+    pivot = primary[partition].max()
+    candidates = np.flatnonzero(primary <= pivot)
+    keys = tuple(key[candidates] for key in reversed(list(secondaries))) + (
+        primary[candidates],
+    )
+    return candidates[np.lexsort(keys)][:count]

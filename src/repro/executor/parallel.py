@@ -36,6 +36,18 @@ How each kernel keeps the contract:
   sort/searchsorted join; results scatter into the canonical probe-major,
   build-row-ascending layout at positions computed from global per-probe
   match counts — the same pairs in the same order for any partitioning.
+* **Sort** (:func:`partitioned_sort`): rows range-partition on the primary
+  sort code (pivots from a strided sample, ``searchsorted`` left like the
+  join, so tied codes share a partition); each partition runs the serial
+  stable lexsort over ascending row positions; partitions concatenate in
+  pivot order.  Tied codes never straddle a partition and stay in row
+  order inside one, so the permutation equals the global stable sort.
+* **Top-k** (:func:`parallel_topk`): each morsel keeps its own pivot-tied
+  ``argpartition`` candidate superset; since the k-th order statistic of a
+  morsel is never below the global one, the union of morsel candidates
+  contains every row of the serial candidate set, and running the serial
+  selection kernel over that union (indices ascending) yields the serial
+  cut bit for bit.
 """
 
 from __future__ import annotations
@@ -50,6 +62,7 @@ from repro.executor.functions import (
     grouped_extreme_rows,
     grouped_first_rows,
 )
+from repro.executor.ordering import topk_order
 from repro.runtime.runner import BatchRunner
 
 _EMPTY_INDICES = np.empty(0, dtype=np.intp)
@@ -61,6 +74,9 @@ _EXACT_SUM_BOUND = float(2**53)
 #: Upper bound on join partitions: enough to feed any sane worker count
 #: while keeping per-partition scheduling overhead negligible.
 MAX_JOIN_PARTITIONS = 64
+
+#: Upper bound on sort partitions, for the same reason.
+MAX_SORT_PARTITIONS = 64
 
 
 def morsel_ranges(length: int, morsel_size: int) -> List[Tuple[int, int]]:
@@ -586,3 +602,97 @@ def partitioned_join_indices(
             continue
         right_indices[np.repeat(starts[probe_sel], counts) + run_offsets] = matches
     return left_indices, right_indices
+
+
+# -- partitioned parallel sort / top-k ---------------------------------------
+
+
+def partitioned_sort(
+    primary: np.ndarray,
+    secondaries: Sequence[np.ndarray],
+    runner: BatchRunner,
+    morsel_size: int,
+    max_partitions: int = MAX_SORT_PARTITIONS,
+) -> Optional[np.ndarray]:
+    """Stable ascending permutation by sort codes, partition-parallel.
+
+    Equals :func:`repro.executor.ordering.sort_order` on the same keys for
+    any worker count, or declines with ``None``: rows range-partition on the
+    ``primary`` code (pivots from a deterministic strided sample; tied codes
+    always share a partition), each partition lexsorts its rows — whose
+    positions are ascending, so the stable per-partition sort breaks full-key
+    ties by global row order — and the permutations concatenate in pivot
+    order.  Declines when the input is too small to partition, every sampled
+    code is equal, or a partition task fails.
+    """
+    size = primary.size
+    partitions = min(int(max_partitions), size // max(int(morsel_size), 1))
+    if partitions < 2:
+        return None
+    stride = max(1, size // 4096)
+    sample = np.sort(primary[::stride])
+    cuts = np.linspace(0, sample.size - 1, num=partitions + 1)[1:-1].astype(np.intp)
+    pivots = np.unique(sample[cuts])
+    if pivots.size == 0:
+        # every sampled code equal: partitioning cannot spread this sort
+        return None
+    # partition id = number of pivots strictly below the code, so tied codes
+    # land in the same partition and partitions concatenate in code order
+    count = pivots.size + 1
+    pid = np.searchsorted(pivots, primary, side="left")
+    order = np.argsort(pid, kind="stable")
+    bounds = np.searchsorted(pid[order], np.arange(count + 1))
+    secondaries = list(secondaries)
+
+    def sort_partition(partition: int) -> np.ndarray:
+        # rows of one partition, positions ascending (stable argsort)
+        rows = order[bounds[partition] : bounds[partition + 1]]
+        if rows.size == 0:
+            return rows
+        keys = tuple(key[rows] for key in reversed(secondaries)) + (primary[rows],)
+        return rows[np.lexsort(keys)]
+
+    report = runner.run(range(count), sort_partition)
+    if report.failure_count:
+        return None
+    return np.concatenate(report.values())
+
+
+def parallel_topk(
+    primary: np.ndarray,
+    secondaries: Sequence[np.ndarray],
+    count: int,
+    ranges: Sequence[Tuple[int, int]],
+    runner: BatchRunner,
+) -> Optional[np.ndarray]:
+    """The ``count`` smallest rows in final order, morsel-parallel.
+
+    Equals :func:`repro.executor.ordering.topk_order` on the same keys for
+    any morsel split, or declines with ``None``.  Each morsel keeps the rows
+    at or below its own ``argpartition`` pivot — its k-th smallest code is
+    never below the global one, so the union of morsel candidate sets is a
+    superset of the serial kernel's candidate set.  The union's indices are
+    ascending (morsels in row order, candidates ascending within one), so
+    running the serial selection over the union reproduces the serial cut —
+    same pivot, same candidates, same stable tiebreak — bit for bit.
+    """
+    if count <= 0 or len(ranges) < 2:
+        return None
+
+    def morsel_candidates(rng: Tuple[int, int]) -> np.ndarray:
+        start, stop = rng
+        segment = primary[start:stop]
+        if segment.size <= count:
+            return np.arange(start, stop, dtype=np.intp)
+        partition = np.argpartition(segment, count - 1)[:count]
+        pivot = segment[partition].max()
+        return np.flatnonzero(segment <= pivot) + start
+
+    report = runner.run(ranges, morsel_candidates)
+    if report.failure_count:
+        return None
+    union = np.concatenate(report.values())
+    selected = topk_order(
+        primary[union], [key[union] for key in secondaries], count
+    )
+    return union[selected]

@@ -277,13 +277,24 @@ class CostModel:
         """Whether partitioned parallel execution of ``node`` should pay off.
 
         Joins partition on the larger input (that bounds the per-partition
-        work), aggregates on their child's rows.  Purely a physical-execution
-        hint: the engine produces identical results either way.
+        work), aggregates on their child's rows.  Sorts and top-k cuts
+        compare their ``n log n`` sort work against the threshold's own
+        ``n log n`` work — the same break-even expressed in the sort's cost
+        function (``log`` being monotone, this crosses exactly at the row
+        threshold).  Purely a physical-execution hint: the engine produces
+        identical results either way.
         """
         if isinstance(node, Join):
             rows = max(self.cardinality(node.left), self.cardinality(node.right))
         elif isinstance(node, Aggregate):
             rows = self.cardinality(node.child)
+        elif isinstance(node, (Sort, Limit)):
+            rows = self.cardinality(node.child)
+            work = rows * math.log2(rows + 2.0)
+            threshold = PARALLEL_ROW_THRESHOLD * math.log2(
+                PARALLEL_ROW_THRESHOLD + 2.0
+            )
+            return work >= threshold
         else:
             return False
         return rows >= PARALLEL_ROW_THRESHOLD

@@ -381,12 +381,15 @@ class Sort(_NodeBase):
     child: "PlanNode"
     index: int
     descending: bool
+    #: cost-based parallel-execution hint (see :attr:`Join.parallel`).
+    parallel: Optional[bool] = None
 
     def children(self) -> Tuple["PlanNode", ...]:
         return (self.child,)
 
     def describe(self) -> str:
-        return f"Sort(#{self.index} {'DESC' if self.descending else 'ASC'})"
+        flags = ", parallel" if self.parallel else ""
+        return f"Sort(#{self.index} {'DESC' if self.descending else 'ASC'}{flags})"
 
 
 @dataclass(frozen=True)
@@ -395,12 +398,16 @@ class Limit(_NodeBase):
 
     child: "PlanNode"
     count: int
+    #: cost-based parallel-execution hint for the top-k selection kernel
+    #: (see :attr:`Join.parallel`).
+    parallel: Optional[bool] = None
 
     def children(self) -> Tuple["PlanNode", ...]:
         return (self.child,)
 
     def describe(self) -> str:
-        return f"Limit({self.count})"
+        flags = ", parallel" if self.parallel else ""
+        return f"Limit({self.count}{flags})"
 
 
 PlanNode = Union[Scan, Sample, Join, Filter, Bin, Aggregate, Project, Sort, Limit]

@@ -39,11 +39,13 @@ exactly as the rule-based subset above:
   AND-conjuncts becomes a cascade of single-conjunct filters, most selective
   innermost, so later (expensive) predicates only see surviving rows — the
   engine's vectorized masks have no short-circuit inside one predicate tree.
-* **parallel-operator choice** (``parallel_ops``): joins and aggregates get
-  a ``parallel`` hint from estimated input cardinality — ``True`` above
-  :data:`~repro.plan.cost.PARALLEL_ROW_THRESHOLD`, ``False`` below, so small
-  inputs skip partitioning overhead.  A purely physical hint for the
-  columnar engine's partitioned kernels; results are identical either way.
+* **parallel-operator choice** (``parallel_ops``): joins, aggregates, sorts
+  and top-k cuts get a ``parallel`` hint from estimated input cardinality —
+  ``True`` above :data:`~repro.plan.cost.PARALLEL_ROW_THRESHOLD` (sorts
+  compare their ``n log n`` work against the threshold's), ``False`` below,
+  so small inputs skip partitioning overhead.  A purely physical hint for
+  the columnar engine's partitioned kernels; results are identical either
+  way.
 """
 
 from __future__ import annotations
@@ -395,17 +397,18 @@ def order_filter_cascades(plan: PlanNode, model: CostModel) -> PlanNode:
 
 
 def choose_parallel_operators(plan: PlanNode, model: CostModel) -> PlanNode:
-    """Pin each join/aggregate serial or parallel from estimated cardinality.
+    """Pin each join/aggregate/sort/limit serial or parallel from cardinality.
 
-    Small inputs (below :data:`~repro.plan.cost.PARALLEL_ROW_THRESHOLD`)
-    would pay partitioning overhead for nothing, so they are pinned serial
+    Small inputs (below :data:`~repro.plan.cost.PARALLEL_ROW_THRESHOLD` —
+    for sorts and top-k cuts, below its equivalent ``n log n`` work) would
+    pay partitioning overhead for nothing, so they are pinned serial
     (``parallel=False``); large inputs are told to partition.  The hint is
     purely physical — the engine's partitioned kernels reproduce the serial
     kernels bit-for-bit — so this rule never changes results.
     """
 
     def choose(node: PlanNode) -> PlanNode:
-        if isinstance(node, (Join, Aggregate)):
+        if isinstance(node, (Join, Aggregate, Sort, Limit)):
             return replace(node, parallel=model.parallel_profitable(node))
         return node
 

@@ -26,6 +26,7 @@ from repro.workload.minimize import (
     clause_count,
     execution_mismatch,
     minimize_query,
+    rows_agree,
 )
 from repro.workload.schema_graph import (
     SchemaGraphConfig,
@@ -62,5 +63,6 @@ __all__ = [
     "fact_tables",
     "fuzz_database",
     "minimize_query",
+    "rows_agree",
     "tiered_row_counts",
 ]

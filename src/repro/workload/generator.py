@@ -25,6 +25,7 @@ qualified (``qualify_probability=1.0`` on joins).
 
 from __future__ import annotations
 
+import math
 import weakref
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -179,6 +180,14 @@ class WorkloadGenerator(RandomDVQGenerator):
         stats = self._column_stats(database, scoped)
         pool: List[object] = [value for value, _ in stats.most_common]
         pool += [edge for edge in stats.histogram if edge not in pool]
+        # NaN has no DVQ text form (same round-trip rationale as the base
+        # generator's pool), so statistics over NaN-bearing columns must not
+        # leak it into predicate literals
+        pool = [
+            value
+            for value in pool
+            if not (isinstance(value, float) and math.isnan(value))
+        ]
         return pool[: self.in_list_limit]
 
     def _group_key_pool(

@@ -18,6 +18,7 @@ machinery.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.database.database import Database
@@ -346,6 +347,31 @@ def minimize_query(
 
 # -- differential oracle ----------------------------------------------------
 
+#: Stand-in for NaN in row comparisons: NaN is not ``==`` to itself, so two
+#: engines returning identical NaN cells would spuriously "mismatch"; mapping
+#: every NaN to one sentinel object restores positional equality (object
+#: identity short-circuits tuple comparison) without touching engine output.
+_NAN_SENTINEL = object()
+
+
+def _comparable_rows(rows) -> List[Tuple[object, ...]]:
+    return [
+        tuple(
+            _NAN_SENTINEL
+            if isinstance(value, float) and math.isnan(value)
+            else value
+            for value in row
+        )
+        for row in rows
+    ]
+
+
+def rows_agree(left, right) -> bool:
+    """Positional row equality that treats NaN as equal to itself."""
+    if left == right:
+        return True
+    return _comparable_rows(left) == _comparable_rows(right)
+
 
 def _attempt(engine, query: DVQuery, database: Database):
     """(outcome, result) for one engine; never raises for engine failures."""
@@ -395,7 +421,7 @@ def compare_to_reference(
         return "columns"
     if left_result.chart_type != right_result.chart_type:
         return "chart_type"
-    if left_result.rows != right_result.rows:
+    if not rows_agree(left_result.rows, right_result.rows):
         return "rows"
     return None
 

@@ -196,12 +196,14 @@ def build_workload_database(
     skew: float = 0.5,
     correlated: bool = True,
     fk_null_fraction: float = 0.0,
+    nan_fraction: float = 0.0,
 ) -> Database:
     """Schema graph + tiered correlated data in one seeded call.
 
     ``fk_null_fraction > 0`` additionally nulls foreign-key values so sweeps
-    exercise SQL NULL-join semantics; the default keeps historical databases
-    bit-identical.
+    exercise SQL NULL-join semantics; ``nan_fraction > 0`` turns non-key
+    NUMBER values into NaN so sort-heavy sweeps exercise the canonical NaN
+    rank; the defaults keep historical databases bit-identical.
     """
     schema = build_schema_graph(config)
     counts = tiered_row_counts(schema, total_rows)
@@ -211,5 +213,6 @@ def build_workload_database(
         skew=skew,
         correlated=correlated,
         fk_null_fraction=fk_null_fraction,
+        nan_fraction=nan_fraction,
     )
     return generator.populate(schema, rows_by_table=counts)

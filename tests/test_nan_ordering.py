@@ -13,15 +13,23 @@ from __future__ import annotations
 import math
 import random
 
+import numpy as np
 import pytest
 
 from repro.database.database import Database
 from repro.database.schema import ColumnType, build_schema
+from repro.database.typed import build_typed_column
 from repro.dvq import parse_dvq
 from repro.executor import ColumnarBackend, InterpreterBackend
 from repro.executor.backend import normalize_result
 from repro.executor.executor import ExecutionResult
-from repro.executor.ordering import legacy_order_key, value_sort_key
+from repro.executor.ordering import (
+    canonical_sorted,
+    canonical_top_k,
+    encode_sort_key,
+    legacy_order_key,
+    value_sort_key,
+)
 
 NAN = float("nan")
 
@@ -102,6 +110,20 @@ class TestValueRanks:
             lambda: ColumnarBackend(optimize=True, vectorize=False),
             id="columnar-python",
         ),
+        # morsels of a handful of rows so the partitioned sort / parallel
+        # top-k kernels engage even on this ten-row table
+        pytest.param(
+            lambda: ColumnarBackend(
+                optimize=True, cost_based=False, max_workers=4, morsel_size=4
+            ),
+            id="columnar-parallel",
+        ),
+        pytest.param(
+            lambda: ColumnarBackend(
+                optimize=True, cost_based=False, max_workers=2, morsel_size=3
+            ),
+            id="columnar-parallel-tiny-morsels",
+        ),
     ],
 )
 class TestEngineOrderByWithNaN:
@@ -159,3 +181,90 @@ class TestNormalizeResultWithNaN:
             query,
         )
         assert math.isnan(result.rows[0][1])
+
+
+class TestSortKeyEncoding:
+    """The uint64 codes must be order-isomorphic to the scalar keys.
+
+    Exact isomorphism — not mere monotonicity — is what the vectorized Sort
+    and top-k kernels rely on: ``~code`` as the descending key and the
+    pivot-tie candidate set ``code <= pivot`` are only correct when codes tie
+    exactly where the scalar keys tie.
+    """
+
+    _NUMBERS = [
+        7.5, NAN, None, -3, NAN, 0, 0.0, -0.0, 2.25, float("inf"),
+        -float("inf"), 1e300, -1e300, 5e-324, -5e-324, 1.0, True, False, None,
+    ]
+
+    def test_number_codes_are_isomorphic_to_the_scalar_key(self):
+        codes = encode_sort_key(build_typed_column(self._NUMBERS))
+        assert codes is not None and codes.dtype == np.uint64
+        keys = [value_sort_key(value) for value in self._NUMBERS]
+        for i, left in enumerate(keys):
+            for j, right in enumerate(keys):
+                assert (codes[i] < codes[j]) == (left < right), (i, j)
+                assert (codes[i] == codes[j]) == (left == right), (i, j)
+
+    def test_number_rank_order_is_finite_nan_null(self):
+        codes = encode_sort_key(build_typed_column([1e308, NAN, None]))
+        assert codes[0] < codes[1] < codes[2]
+        # +inf is still an ordinary number: below NaN, below NULL
+        inf_codes = encode_sort_key(build_typed_column([float("inf"), NAN, None]))
+        assert inf_codes[0] < inf_codes[1] < inf_codes[2]
+
+    def test_text_codes_match_canonical_and_legacy_keys(self):
+        values = ["Apple", "apple", "Banana", None, "apple", "zebra", "", "Zebra"]
+        column = build_typed_column(values)
+        canonical = encode_sort_key(column)
+        legacy = encode_sort_key(column, legacy=True)
+        canonical_keys = [value_sort_key(value) for value in values]
+        legacy_keys = [legacy_order_key(value) for value in values]
+        for i in range(len(values)):
+            for j in range(len(values)):
+                assert (canonical[i] < canonical[j]) == (
+                    canonical_keys[i] < canonical_keys[j]
+                ), (i, j)
+                assert (legacy[i] < legacy[j]) == (
+                    legacy_keys[i] < legacy_keys[j]
+                ), (i, j)
+
+    def test_object_kind_columns_decline(self):
+        mixed = build_typed_column([1, "two", 3.0, None])
+        assert encode_sort_key(mixed) is None
+        assert encode_sort_key(mixed, legacy=True) is None
+
+    def test_bool_bearing_number_columns_decline_only_under_legacy(self):
+        # legacy_order_key sorts bools as the text "true"/"false", which the
+        # float64 shadow (1.0/0.0) cannot reproduce — so the legacy encoding
+        # must decline while the canonical one (bool == number) encodes
+        column = build_typed_column([1.0, True, 0.0, False, None])
+        assert column.has_bool
+        assert encode_sort_key(column, legacy=True) is None
+        assert encode_sort_key(column) is not None
+
+    def test_empty_columns_encode_to_empty_codes(self):
+        codes = encode_sort_key(build_typed_column([]))
+        assert codes is not None and codes.size == 0
+
+
+class TestCanonicalTopK:
+    _ROWS = [
+        (index, value)
+        for index, value in enumerate(
+            [7.5, NAN, None, -3, NAN, 0, 2.25, float("inf"), -float("inf"),
+             7.5, None, 2.25]
+        )
+    ]
+
+    @pytest.mark.parametrize("count", (0, 1, 3, 11, 12, 50))
+    @pytest.mark.parametrize("descending", (False, True))
+    def test_equals_the_full_sort_prefix(self, count, descending):
+        expected = canonical_sorted(self._ROWS, index=1, descending=descending)
+        actual = canonical_top_k(self._ROWS, count, index=1, descending=descending)
+        assert actual == expected[:count]
+
+    def test_without_an_order_column_it_cuts_the_canonical_order(self):
+        expected = canonical_sorted(self._ROWS)
+        for count in (1, 5, len(self._ROWS)):
+            assert canonical_top_k(self._ROWS, count) == expected[:count]

@@ -23,15 +23,18 @@ from repro.database.typed import build_typed_column
 from repro.executor import ColumnarBackend, InterpreterBackend
 from repro.executor.columnar import _vector_join_indices
 from repro.executor.functions import apply_aggregate, grouped_aggregate_vector
+from repro.executor.ordering import encode_sort_key, sort_order, topk_order
 from repro.executor.parallel import (
     morsel_ranges,
     parallel_encode,
     parallel_group_ids,
     parallel_grouped_aggregate,
+    parallel_topk,
     partitioned_join_indices,
+    partitioned_sort,
 )
 from repro.plan.cost import PARALLEL_ROW_THRESHOLD, CostModel
-from repro.plan.nodes import Aggregate, Join, iter_nodes
+from repro.plan.nodes import Aggregate, Join, Limit, Sort, iter_nodes
 from repro.plan.optimizer import OptimizerConfig
 from repro.runtime.runner import BatchRunner
 from repro.workload import SchemaGraphConfig, WorkloadGenerator, build_workload_database
@@ -306,6 +309,109 @@ class TestPartitionedJoin:
         assert result[0].size == 0 and result[1].size == 0
 
 
+# -- partitioned sort / parallel top-k ---------------------------------------
+
+
+def _sort_key_corpus(seed: int, length: int):
+    """(primary, secondary) uint64 sort codes with duplicates, NaN and NULL."""
+    rng = random.Random(seed)
+    numbers = []
+    for _ in range(length):
+        roll = rng.random()
+        if roll < 0.08:
+            numbers.append(None)
+        elif roll < 0.16:
+            numbers.append(float("nan"))
+        elif roll < 0.24:
+            numbers.append(rng.choice([-0.0, 0.0, float("inf"), -float("inf")]))
+        else:
+            # a small value pool so pivot boundaries land on heavy ties
+            numbers.append(rng.choice([-3.5, 2.25, float(rng.randrange(12))]))
+    texts = [
+        None if rng.random() < 0.1 else f"Label {rng.randrange(7)}"
+        for _ in range(length)
+    ]
+    primary = encode_sort_key(build_typed_column(numbers))
+    secondary = encode_sort_key(build_typed_column(texts))
+    assert primary is not None and secondary is not None
+    return primary, secondary
+
+
+class TestPartitionedSort:
+    @pytest.mark.parametrize("workers", (2, 4, 8))
+    @pytest.mark.parametrize("morsel", (16, 50, 100))
+    def test_matches_serial_sort_order(self, workers, morsel):
+        primary, secondary = _sort_key_corpus(workers * 100 + morsel, 1000)
+        runner = BatchRunner(max_workers=workers)
+        actual = partitioned_sort(primary, (secondary,), runner, morsel)
+        assert actual is not None
+        np.testing.assert_array_equal(actual, sort_order(primary, (secondary,)))
+
+    def test_descending_via_inverted_codes(self):
+        primary, secondary = _sort_key_corpus(1, 800)
+        runner = BatchRunner(max_workers=4)
+        actual = partitioned_sort(~primary, (secondary,), runner, 64)
+        assert actual is not None
+        np.testing.assert_array_equal(actual, sort_order(~primary, (secondary,)))
+
+    def test_no_secondaries_breaks_ties_by_row_order(self):
+        primary, _ = _sort_key_corpus(2, 600)
+        runner = BatchRunner(max_workers=4)
+        actual = partitioned_sort(primary, (), runner, 50)
+        assert actual is not None
+        np.testing.assert_array_equal(actual, sort_order(primary, ()))
+
+    def test_declines_when_too_small_to_partition(self):
+        primary, secondary = _sort_key_corpus(3, 50)
+        runner = BatchRunner(max_workers=4)
+        assert partitioned_sort(primary, (secondary,), runner, 100) is None
+
+    def test_constant_keys_degenerate_but_stay_exact(self):
+        # every code equal: one populated partition, but the stable
+        # (row-order) permutation must still match the serial kernel
+        primary = np.full(400, np.uint64(7))
+        runner = BatchRunner(max_workers=4)
+        actual = partitioned_sort(primary, (), runner, 100)
+        if actual is not None:
+            np.testing.assert_array_equal(actual, sort_order(primary, ()))
+
+
+class TestParallelTopk:
+    @pytest.mark.parametrize("workers", (2, 4, 8))
+    @pytest.mark.parametrize("count", (1, 7, 64, 999, 1000, 1500))
+    def test_matches_serial_topk_order(self, workers, count):
+        primary, secondary = _sort_key_corpus(workers, 1000)
+        runner = BatchRunner(max_workers=workers)
+        ranges = morsel_ranges(1000, 100)
+        actual = parallel_topk(primary, [secondary], count, ranges, runner)
+        assert actual is not None
+        np.testing.assert_array_equal(
+            actual, topk_order(primary, [secondary], count)
+        )
+
+    def test_pivot_boundary_ties_are_cut_identically(self):
+        # three distinct codes, so the k-th smallest is tied with hundreds of
+        # rows across every morsel — the union-of-candidates superset must
+        # still reproduce the serial stable cut exactly
+        rng = np.random.default_rng(8)
+        primary = rng.integers(0, 3, size=900).astype(np.uint64)
+        secondary = rng.integers(0, 2, size=900).astype(np.uint64)
+        runner = BatchRunner(max_workers=4)
+        ranges = morsel_ranges(900, 64)
+        for count in (5, 300, 600):
+            actual = parallel_topk(primary, [secondary], count, ranges, runner)
+            np.testing.assert_array_equal(
+                actual, topk_order(primary, [secondary], count)
+            )
+
+    def test_declines_on_degenerate_inputs(self):
+        primary, secondary = _sort_key_corpus(4, 300)
+        runner = BatchRunner(max_workers=2)
+        assert parallel_topk(primary, [secondary], 0, morsel_ranges(300, 50), runner) is None
+        # a single morsel has nothing to parallelise
+        assert parallel_topk(primary, [secondary], 5, morsel_ranges(300, 300), runner) is None
+
+
 # -- worker-count invariance over the fuzz corpora ---------------------------
 
 
@@ -372,6 +478,33 @@ class TestWorkerCountInvariance:
             actual = backend.execute(query, star_database)
             assert actual.rows == expected.rows, query
 
+    def test_sort_heavy_corpus_is_worker_count_invariant(self, star_database):
+        # every query carries an ORDER BY and most a LIMIT, so this sweep
+        # drives partitioned_sort / parallel_topk rather than the scan kernels
+        oracle = InterpreterBackend()
+        queries, baselines = [], []
+        for seed in range(40):
+            query = WorkloadGenerator(
+                seed=seed, order_probability=1.0, limit_probability=0.6
+            ).generate(star_database)
+            try:
+                baselines.append(oracle.execute(query, star_database))
+            except Exception:
+                continue
+            queries.append(query)
+        assert len(queries) >= 20
+        for workers in WORKER_COUNTS:
+            for morsel in (32, 128):
+                backend = ColumnarBackend(
+                    optimize=True,
+                    cost_based=False,
+                    max_workers=workers,
+                    morsel_size=morsel,
+                )
+                for query, expected in zip(queries, baselines):
+                    actual = backend.execute(query, star_database)
+                    assert actual.rows == expected.rows, (workers, morsel, query)
+
 
 # -- cost-based operator choice ----------------------------------------------
 
@@ -430,6 +563,87 @@ class TestCostBasedParallelChoice:
         # a ~2k-row corpus sits far below the 100k-row break-even
         assert model.cardinality(aggregate.child) < PARALLEL_ROW_THRESHOLD
         assert not model.parallel_profitable(aggregate)
+
+    def _sorted_plan(self, database, backend):
+        from repro.dvq import parse_dvq
+
+        table = database.schema.tables[0]
+        text_col = table.columns[1].name
+        number_col = table.columns[2].name
+        query = parse_dvq(
+            f"Visualize BAR SELECT {text_col} , {number_col} FROM {table.name} "
+            f"ORDER BY {number_col} DESC LIMIT 5"
+        )
+        return backend.plan(query, database)
+
+    def test_small_sorts_are_pinned_serial(self, star_database):
+        backend = ColumnarBackend(optimize=True, cost_based=True)
+        plan = self._sorted_plan(star_database, backend)
+        nodes = [n for n in iter_nodes(plan) if isinstance(n, (Sort, Limit))]
+        assert nodes and all(n.parallel is False for n in nodes)
+
+    def test_inflated_sort_estimates_flip_the_hint_and_the_explain(
+        self, star_database
+    ):
+        from repro.plan.optimizer import choose_parallel_operators
+
+        backend = ColumnarBackend(optimize=True, cost_based=True)
+        plan = self._sorted_plan(star_database, backend)
+        inflated = choose_parallel_operators(plan, _InflatedCostModel(star_database))
+        sorts = [n for n in iter_nodes(inflated) if isinstance(n, Sort)]
+        assert sorts and all(n.parallel is True for n in sorts)
+        assert any(", parallel" in n.describe() for n in sorts)
+
+    def test_sort_profitability_uses_the_n_log_n_break_even(self, star_database):
+        model = CostModel(star_database)
+        backend = ColumnarBackend(optimize=True, cost_based=False)
+        plan = self._sorted_plan(star_database, backend)
+        sort = next(n for n in iter_nodes(plan) if isinstance(n, Sort))
+        # a ~2k-row corpus is far below the 100k-row-equivalent sort work
+        assert model.cardinality(sort.child) < PARALLEL_ROW_THRESHOLD
+        assert not model.parallel_profitable(sort)
+
+    def test_engine_skips_sort_kernels_when_pinned_serial(
+        self, star_database, monkeypatch
+    ):
+        calls = []
+        real_psort = columnar_module.partitioned_sort
+        real_ptopk = columnar_module.parallel_topk
+
+        def spy_psort(*args, **kwargs):
+            calls.append("sort")
+            return real_psort(*args, **kwargs)
+
+        def spy_ptopk(*args, **kwargs):
+            calls.append("topk")
+            return real_ptopk(*args, **kwargs)
+
+        monkeypatch.setattr(columnar_module, "partitioned_sort", spy_psort)
+        monkeypatch.setattr(columnar_module, "parallel_topk", spy_ptopk)
+        pinned = ColumnarBackend(
+            optimize=True, cost_based=True, max_workers=4, morsel_size=32
+        )
+        unhinted = ColumnarBackend(
+            optimize=True, cost_based=False, max_workers=4, morsel_size=32
+        )
+        queries = [
+            WorkloadGenerator(
+                seed=seed, order_probability=1.0, limit_probability=0.5
+            ).generate(star_database)
+            for seed in range(20)
+        ]
+        for query in queries:
+            try:
+                pinned.execute(query, star_database)
+            except Exception:
+                continue
+        assert not calls  # every sort pinned serial at this scale
+        for query in queries:
+            try:
+                unhinted.execute(query, star_database)
+            except Exception:
+                continue
+        assert calls  # the runtime default engages the sort kernels
 
     def test_engine_skips_parallel_kernels_when_pinned_serial(
         self, star_database, monkeypatch

@@ -11,6 +11,9 @@ deterministically per seed.
 
 from __future__ import annotations
 
+import math
+import weakref
+
 import pytest
 
 import repro.executor.columnar as columnar_module
@@ -24,9 +27,11 @@ from repro.workload import (
     WorkloadGenerator,
     build_workload_database,
     clause_count,
+    default_engine_matrix,
     execution_mismatch,
     fuzz_database,
     minimize_query,
+    rows_agree,
 )
 
 
@@ -46,6 +51,17 @@ def null_key_database():
                           name="fuzz_null_db"),
         total_rows=2_000,
         fk_null_fraction=0.25,
+    )
+
+
+@pytest.fixture(scope="module")
+def nan_sort_database():
+    """A workload database where 15% of non-key NUMBER values are NaN."""
+    return build_workload_database(
+        SchemaGraphConfig(seed=29, table_count=6, topology="star",
+                          name="fuzz_nan_db"),
+        total_rows=2_000,
+        nan_fraction=0.15,
     )
 
 
@@ -233,3 +249,107 @@ class TestMinimizeQuery:
             "WHERE a = 1 AND b = 2 GROUP BY a ORDER BY COUNT(a) DESC LIMIT 3"
         )
         assert clause_count(rich) == 5  # join + 2 conditions + order + limit
+
+
+def _sort_heavy_factory(cache):
+    """ORDER BY / LIMIT-weighted generators sharing one statistics pass."""
+    return lambda seed: WorkloadGenerator(
+        seed=seed,
+        order_probability=0.9,
+        limit_probability=0.7,
+        stats_cache=cache,
+    )
+
+
+class TestSortHeavySweeps:
+    """ORDER BY / LIMIT-weighted sweeps over null- and NaN-heavy sort columns.
+
+    The default engine matrix includes ``columnar-parallel`` with
+    ``cost_based=False`` and 512-row morsels, so the partitioned sort and
+    parallel top-k kernels actually engage at fuzz-database scale — the spy
+    test proves it rather than assuming it.
+    """
+
+    def test_sort_heavy_null_key_sweep_is_mismatch_free(self, null_key_database):
+        fuzzer = DifferentialFuzzer(
+            null_key_database,
+            generator_factory=_sort_heavy_factory(weakref.WeakKeyDictionary()),
+            base_seed=0,
+            max_workers=2,
+        )
+        report = fuzzer.run(100)
+        assert report.ok, report.summary()
+        assert set(report.engines) == set(default_engine_matrix())
+        assert report.category_counts == {"ok": 100}
+
+    def test_nan_heavy_sweep_is_mismatch_free_without_sqlite(self, nan_sort_database):
+        # sqlite3 binds float('nan') parameters as NULL on INSERT, so a
+        # NaN-bearing database is outside SQLite's differential scope by
+        # construction; every in-process engine must still reproduce the
+        # canonical NUMBER < NaN < TEXT < NULL rank bit-for-bit.
+        engines = {
+            name: engine
+            for name, engine in default_engine_matrix().items()
+            if name != "sqlite"
+        }
+        fuzzer = DifferentialFuzzer(
+            nan_sort_database,
+            engines=engines,
+            generator_factory=_sort_heavy_factory(weakref.WeakKeyDictionary()),
+            base_seed=300,
+            max_workers=2,
+        )
+        report = fuzzer.run(100)
+        assert report.ok, report.summary()
+        assert "sqlite" not in report.engines
+
+    def test_sort_heavy_sweep_engages_the_sort_kernels(self, database, monkeypatch):
+        calls = {"topk": 0, "psort": 0, "ptopk": 0}
+        real_topk = columnar_module.topk_order
+        real_psort = columnar_module.partitioned_sort
+        real_ptopk = columnar_module.parallel_topk
+
+        def spy_topk(*args, **kwargs):
+            calls["topk"] += 1
+            return real_topk(*args, **kwargs)
+
+        def spy_psort(*args, **kwargs):
+            calls["psort"] += 1
+            return real_psort(*args, **kwargs)
+
+        def spy_ptopk(*args, **kwargs):
+            calls["ptopk"] += 1
+            return real_ptopk(*args, **kwargs)
+
+        monkeypatch.setattr(columnar_module, "topk_order", spy_topk)
+        monkeypatch.setattr(columnar_module, "partitioned_sort", spy_psort)
+        monkeypatch.setattr(columnar_module, "parallel_topk", spy_ptopk)
+        fuzzer = DifferentialFuzzer(
+            database,
+            generator_factory=_sort_heavy_factory(weakref.WeakKeyDictionary()),
+            base_seed=0,
+            max_workers=1,
+        )
+        report = fuzzer.run(100)
+        assert report.ok, report.summary()
+        assert calls["topk"] > 0, "vectorized top-k selection never ran"
+        assert calls["ptopk"] > 0, "parallel top-k never engaged"
+
+    def test_nan_fraction_actually_injects_nan_sort_values(self, nan_sort_database):
+        nans = 0
+        for table_schema in nan_sort_database.schema.tables:
+            for row in nan_sort_database.table(table_schema.name).rows:
+                nans += sum(
+                    1
+                    for value in row.values()
+                    if isinstance(value, float) and math.isnan(value)
+                )
+        assert nans > 0
+
+    def test_rows_agree_is_nan_aware_but_not_nan_blind(self):
+        nan = float("nan")
+        assert rows_agree([(1.0, nan)], [(1.0, nan)])
+        assert not rows_agree([(1.0, nan)], [(1.0, None)])
+        assert not rows_agree([(nan,)], [(2.0,)])
+        assert not rows_agree([(nan,)], [])
+        assert rows_agree([], [])
